@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's tables and figures
+// (DESIGN.md §3 lists the mapping). Results print as text tables with
+// the paper's published numbers alongside.
+//
+// Usage:
+//
+//	experiments -run all -jobs 2000
+//	experiments -run fig8,fig9 -jobs 5000 -scale fast
+//	experiments -run fig11 -jobs 4000 -samples 5 -samplejobs 1500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"prionn/internal/experiments"
+	"prionn/internal/prionn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all' (known: "+
+		strings.Join(experiments.IDs(), ", ")+")")
+	jobs := flag.Int("jobs", 2000, "trace length")
+	seed := flag.Int64("seed", 1, "seed")
+	scale := flag.String("scale", "fast", "model scale: tiny, fast, paper")
+	nodes := flag.Int("nodes", 1296, "simulated machine size (Cab: 1296)")
+	samples := flag.Int("samples", 5, "sub-trace samples for §4 experiments (paper: 5)")
+	sampleJobs := flag.Int("samplejobs", 0, "jobs per sample (default jobs/2)")
+	out := flag.String("o", "", "also write the report to this file")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	var cfg prionn.Config
+	switch *scale {
+	case "tiny":
+		cfg = prionn.TinyConfig()
+	case "fast":
+		cfg = prionn.FastConfig()
+	case "paper":
+		cfg = prionn.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	cfg.Seed = *seed
+
+	opts := experiments.Options{
+		Jobs:       *jobs,
+		Seed:       *seed,
+		Cfg:        cfg,
+		Nodes:      *nodes,
+		Samples:    *samples,
+		SampleJobs: *sampleJobs,
+	}
+	if !*quiet {
+		opts.Progress = func(s string) { log.Print(s) }
+	}
+
+	ids := experiments.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "PRIONN experiment harness — %d jobs, scale %s, seed %d\n\n", *jobs, *scale, *seed)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf("wall time %.1fs", time.Since(start).Seconds()))
+		if _, err := res.WriteTo(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

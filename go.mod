@@ -1,0 +1,3 @@
+module prionn
+
+go 1.22

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"prionn/internal/features"
+	"prionn/internal/mlbase"
+	"prionn/internal/trace"
+)
+
+// BaselineKind selects a traditional machine-learning baseline.
+type BaselineKind string
+
+// The three traditional models the paper compares (§2.2); RF is the best
+// and serves as the representative baseline in §3.
+const (
+	BaselineRF  BaselineKind = "rf"
+	BaselineDT  BaselineKind = "dt"
+	BaselineKNN BaselineKind = "knn"
+)
+
+// newBaseline constructs a fresh regressor of the given kind.
+func newBaseline(kind BaselineKind, seed int64) mlbase.Regressor {
+	switch kind {
+	case BaselineDT:
+		return mlbase.NewDecisionTree(mlbase.TreeConfig{MaxDepth: 12, MinSamplesLeaf: 2})
+	case BaselineKNN:
+		return mlbase.NewKNN(mlbase.KNNConfig{K: 5})
+	default:
+		return mlbase.NewRandomForest(mlbase.ForestConfig{Trees: 30, MaxDepth: 14, Seed: seed})
+	}
+}
+
+// rawJob converts a trace job into the manual extractor's input.
+func rawJob(j trace.Job) features.RawJob {
+	return features.RawJob{
+		Script:    j.Script,
+		User:      j.User,
+		Group:     j.Group,
+		Account:   j.Account,
+		SubmitDir: "/g/g0/" + j.User,
+	}
+}
+
+// runBaseline runs a traditional model through the same online loop as
+// PRIONN: predict at submission, retrain every retrainEvery submissions
+// on the window most recently completed jobs. Unlike PRIONN, traditional
+// models cannot warm-start — each training event fits a fresh model on
+// the window (the paper calls this out as a deep-learning advantage).
+func runBaseline(jobs []trace.Job, kind BaselineKind, window, retrainEvery int, seed int64, predictIO bool) []JobPred {
+	enc := features.NewEncoder()
+
+	type completion struct {
+		end int64
+		idx int
+	}
+	pending := make([]completion, 0, len(jobs))
+	for i, j := range jobs {
+		if !j.Canceled {
+			pending = append(pending, completion{end: j.SubmitTime + j.ActualSec, idx: i})
+		}
+	}
+	// Pending is nearly sorted (submission order); sort by end time.
+	for i := 1; i < len(pending); i++ {
+		for k := i; k > 0 && pending[k].end < pending[k-1].end; k-- {
+			pending[k], pending[k-1] = pending[k-1], pending[k]
+		}
+	}
+
+	var completed []int
+	pi := 0
+	sinceTrain := 0
+	trained := false
+
+	var runtimeModel, readModel, writeModel mlbase.Regressor
+
+	out := make([]JobPred, len(jobs))
+	for i, j := range jobs {
+		for pi < len(pending) && pending[pi].end <= j.SubmitTime {
+			completed = append(completed, pending[pi].idx)
+			pi++
+		}
+		sinceTrain++
+		if sinceTrain >= retrainEvery && len(completed) > 0 {
+			win := completed
+			if len(win) > window {
+				win = win[len(win)-window:]
+			}
+			x := make([][]float64, len(win))
+			rt := make([]float64, len(win))
+			rd := make([]float64, len(win))
+			wr := make([]float64, len(win))
+			for k, idx := range win {
+				x[k] = enc.Encode(features.Extract(rawJob(jobs[idx])))
+				rt[k] = float64(jobs[idx].ActualMin())
+				rd[k] = float64(jobs[idx].ReadBytes)
+				wr[k] = float64(jobs[idx].WriteBytes)
+			}
+			runtimeModel = newBaseline(kind, seed)
+			runtimeModel.Fit(x, rt)
+			if predictIO {
+				readModel = newBaseline(kind, seed+1)
+				readModel.Fit(x, rd)
+				writeModel = newBaseline(kind, seed+2)
+				writeModel.Fit(x, wr)
+			}
+			trained = true
+			sinceTrain = 0
+		}
+
+		out[i].Job = j
+		if trained && !j.Canceled {
+			row := enc.Encode(features.Extract(rawJob(j)))
+			rm := runtimeModel.Predict(row)
+			if rm < 0 {
+				rm = 0
+			}
+			out[i].RuntimeMin = int(rm + 0.5)
+			if predictIO {
+				out[i].ReadBytes = maxf(readModel.Predict(row), 0)
+				out[i].WriteBytes = maxf(writeModel.Predict(row), 0)
+			}
+			out[i].OK = true
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EncodeJobFeatures returns a closure performing the full manual-feature
+// pipeline (Table-1 extraction plus label encoding) over trace jobs, with
+// encoder state shared across calls. Exposed for the benchmark harness.
+func EncodeJobFeatures() func(trace.Job) []float64 {
+	enc := features.NewEncoder()
+	return func(j trace.Job) []float64 {
+		return enc.Encode(features.Extract(rawJob(j)))
+	}
+}
+
+// runBaselinePower runs the RF online loop with each job's mean power
+// draw (watts) as the regression target — the baseline for the
+// ext-power future-work experiment.
+func runBaselinePower(jobs []trace.Job, window, retrainEvery int, seed int64) []powerPred {
+	enc := features.NewEncoder()
+
+	type completion struct {
+		end int64
+		idx int
+	}
+	pending := make([]completion, 0, len(jobs))
+	for i, j := range jobs {
+		if !j.Canceled {
+			pending = append(pending, completion{end: j.SubmitTime + j.ActualSec, idx: i})
+		}
+	}
+	for i := 1; i < len(pending); i++ {
+		for k := i; k > 0 && pending[k].end < pending[k-1].end; k-- {
+			pending[k], pending[k-1] = pending[k-1], pending[k]
+		}
+	}
+
+	var completed []int
+	pi, sinceTrain := 0, 0
+	var model mlbase.Regressor
+
+	out := make([]powerPred, len(jobs))
+	for i, j := range jobs {
+		for pi < len(pending) && pending[pi].end <= j.SubmitTime {
+			completed = append(completed, pending[pi].idx)
+			pi++
+		}
+		sinceTrain++
+		if sinceTrain >= retrainEvery && len(completed) > 0 {
+			win := completed
+			if len(win) > window {
+				win = win[len(win)-window:]
+			}
+			x := make([][]float64, len(win))
+			y := make([]float64, len(win))
+			for k, idx := range win {
+				x[k] = enc.Encode(features.Extract(rawJob(jobs[idx])))
+				y[k] = jobs[idx].AvgPowerW
+			}
+			model = newBaseline(BaselineRF, seed)
+			model.Fit(x, y)
+			sinceTrain = 0
+		}
+		if model != nil && !j.Canceled {
+			row := enc.Encode(features.Extract(rawJob(j)))
+			out[i] = powerPred{PowerW: maxf(model.Predict(row), 0), OK: true}
+		}
+	}
+	return out
+}
+
+// RunBaselineForProbe exposes the RF online loop for the tuning probe
+// binary (runtime target only).
+func RunBaselineForProbe(jobs []trace.Job, window, retrainEvery int) []JobPred {
+	return runBaseline(jobs, BaselineRF, window, retrainEvery, 1, false)
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment.
+type Runner func(Options) (Result, error)
+
+// registry maps experiment IDs (DESIGN.md §3) to runners.
+var registry = map[string]Runner{
+	"fig3":          Fig3,
+	"fig4":          Fig4,
+	"fig5":          Fig5,
+	"fig6":          Fig6,
+	"fig7":          Fig7,
+	"tab2":          Table2,
+	"fig8":          Fig8,
+	"fig9":          Fig9,
+	"fig11":         Fig11,
+	"fig12":         Fig12,
+	"fig13":         Fig13,
+	"fig14":         Fig14,
+	"fig15":         Fig15,
+	"ablate-warm":   WarmStartAblation,
+	"ext-deck":      ExtDeck,
+	"ext-power":     ExtPower,
+	"ablate-window": WindowAblation,
+	"ablate-layout": LayoutAblation,
+	"ablate-crop":   CropAblation,
+}
+
+// IDs returns the registered experiment IDs in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup returns the runner for an experiment ID.
+func Lookup(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return r, nil
+}
+
+// Run executes one experiment by ID.
+func Run(id string, o Options) (Result, error) {
+	r, err := Lookup(id)
+	if err != nil {
+		return Result{}, err
+	}
+	return r(o)
+}

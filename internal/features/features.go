@@ -1,0 +1,217 @@
+// Package features implements the manual job-script feature extraction
+// that traditional machine-learning baselines require (paper Table 1,
+// replicating Smith et al.). It parses SLURM-style batch scripts for the
+// nine features — requested time, nodes, tasks, user, group, account, job
+// name, working directory, submission directory — and label-encodes the
+// string-valued ones into numerical columns.
+//
+// The paper notes this approach "proved difficult due to inconsistencies
+// in job script format"; the parser here mirrors that reality by handling
+// the directive variants our synthetic trace emits while remaining
+// intentionally blind to information embedded in command lines — exactly
+// the truncation PRIONN's whole-script mapping avoids.
+package features
+
+import (
+	"strconv"
+	"strings"
+)
+
+// RawJob is the per-job information available to the manual extractor:
+// the script text plus the submission metadata the scheduler knows.
+type RawJob struct {
+	Script    string
+	User      string
+	Group     string
+	Account   string
+	SubmitDir string
+}
+
+// Set is the Table-1 feature set for one job.
+type Set struct {
+	ReqTimeHours float64 // user-requested runtime in hours
+	ReqNodes     float64 // user-requested node count
+	ReqTasks     float64 // user-requested task count
+	User         string
+	Group        string
+	Account      string
+	JobName      string
+	WorkDir      string
+	SubmitDir    string
+}
+
+// NumFeatures is the width of the encoded feature vector.
+const NumFeatures = 9
+
+// Extract parses the Table-1 features from a raw job. Unparsable numeric
+// fields are left at zero; missing string fields are empty.
+func Extract(j RawJob) Set {
+	s := Set{
+		User:      j.User,
+		Group:     j.Group,
+		Account:   j.Account,
+		SubmitDir: j.SubmitDir,
+	}
+	for _, line := range strings.Split(j.Script, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "#SBATCH") && !strings.HasPrefix(line, "#MSUB") {
+			if strings.HasPrefix(line, "cd ") && s.WorkDir == "" {
+				s.WorkDir = strings.TrimSpace(strings.TrimPrefix(line, "cd "))
+			}
+			continue
+		}
+		isMSUB := strings.HasPrefix(line, "#MSUB")
+		rest := strings.TrimSpace(line[strings.Index(line, " ")+1:])
+		key, val := splitDirective(rest)
+		if isMSUB {
+			// Moab/Torque style: "-l nodes=16", "-l walltime=8:00:00",
+			// "-N jobname".
+			switch key {
+			case "-l":
+				rkey, rval := splitDirective(val)
+				switch rkey {
+				case "nodes":
+					s.ReqNodes = parseFloat(rval)
+				case "walltime":
+					s.ReqTimeHours = parseTimeHours(rval)
+				case "ttc", "procs":
+					s.ReqTasks = parseFloat(rval)
+				}
+			case "-N":
+				s.JobName = val
+			case "-A":
+				if s.Account == "" {
+					s.Account = val
+				}
+			}
+			continue
+		}
+		switch key {
+		case "-t", "--time":
+			s.ReqTimeHours = parseTimeHours(val)
+		case "-N", "--nodes":
+			s.ReqNodes = parseFloat(val)
+		case "-n", "--ntasks":
+			s.ReqTasks = parseFloat(val)
+		case "-J", "--job-name":
+			s.JobName = val
+		case "-A", "--account":
+			if s.Account == "" {
+				s.Account = val
+			}
+		case "-D", "--chdir", "--workdir":
+			s.WorkDir = val
+		}
+	}
+	if s.WorkDir == "" {
+		s.WorkDir = s.SubmitDir
+	}
+	return s
+}
+
+// splitDirective separates "--time=4:00:00", "--time 4:00:00", or
+// "-t 4:00:00" into key and value.
+func splitDirective(d string) (key, val string) {
+	d = strings.TrimSpace(d)
+	if d == "" {
+		return "", ""
+	}
+	sp := strings.IndexAny(d, " \t")
+	eq := strings.IndexByte(d, '=')
+	// "--time=4:00:00" style: '=' appears before any whitespace.
+	if eq >= 0 && (sp < 0 || eq < sp) {
+		return d[:eq], strings.TrimSpace(d[eq+1:])
+	}
+	if sp < 0 {
+		return d, ""
+	}
+	return d[:sp], strings.TrimSpace(d[sp+1:])
+}
+
+// parseTimeHours parses SLURM time formats — "MM", "HH:MM:SS",
+// "D-HH:MM:SS", "HH:MM" — into hours.
+func parseTimeHours(v string) float64 {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	var days float64
+	if i := strings.IndexByte(v, '-'); i >= 0 {
+		days = parseFloat(v[:i])
+		v = v[i+1:]
+	}
+	parts := strings.Split(v, ":")
+	var h float64
+	switch len(parts) {
+	case 1: // minutes
+		h = parseFloat(parts[0]) / 60
+	case 2: // HH:MM
+		h = parseFloat(parts[0]) + parseFloat(parts[1])/60
+	case 3: // HH:MM:SS
+		h = parseFloat(parts[0]) + parseFloat(parts[1])/60 + parseFloat(parts[2])/3600
+	}
+	return days*24 + h
+}
+
+func parseFloat(v string) float64 {
+	f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+// Encoder label-encodes the string-valued features into stable integer
+// codes, assigning codes in first-seen order. The same Encoder instance
+// must be used for training and prediction so codes are consistent; it
+// is the counterpart of the paper's scikit-learn LabelEncoder, extended
+// to assign fresh codes to unseen values at prediction time (new users
+// and job names keep arriving in the online setting).
+type Encoder struct {
+	columns [6]map[string]int
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder {
+	e := &Encoder{}
+	for i := range e.columns {
+		e.columns[i] = make(map[string]int)
+	}
+	return e
+}
+
+func (e *Encoder) code(col int, v string) float64 {
+	m := e.columns[col]
+	c, ok := m[v]
+	if !ok {
+		c = len(m)
+		m[v] = c
+	}
+	return float64(c)
+}
+
+// Encode converts a feature set into the numerical vector consumed by the
+// mlbase regressors: the three numeric features followed by the six
+// label-encoded string features.
+func (e *Encoder) Encode(s Set) []float64 {
+	return []float64{
+		s.ReqTimeHours,
+		s.ReqNodes,
+		s.ReqTasks,
+		e.code(0, s.User),
+		e.code(1, s.Group),
+		e.code(2, s.Account),
+		e.code(3, s.JobName),
+		e.code(4, s.WorkDir),
+		e.code(5, s.SubmitDir),
+	}
+}
+
+// EncodeBatch extracts and encodes a batch of raw jobs.
+func (e *Encoder) EncodeBatch(jobs []RawJob) [][]float64 {
+	out := make([][]float64, len(jobs))
+	for i, j := range jobs {
+		out[i] = e.Encode(Extract(j))
+	}
+	return out
+}

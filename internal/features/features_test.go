@@ -1,0 +1,157 @@
+package features
+
+import (
+	"math"
+	"testing"
+)
+
+const sampleScript = `#!/bin/bash
+#SBATCH --job-name=lulesh_prod
+#SBATCH -N 16
+#SBATCH -n 256
+#SBATCH -t 4:30:00
+#SBATCH --account=physics
+#SBATCH --chdir=/p/lustre1/alice/runs
+
+module load mpi
+cd /p/lustre1/alice/runs
+srun ./lulesh2.0 -s 80 -i 3000
+`
+
+func TestExtractSampleScript(t *testing.T) {
+	s := Extract(RawJob{
+		Script:    sampleScript,
+		User:      "alice",
+		Group:     "phys",
+		Account:   "",
+		SubmitDir: "/home/alice",
+	})
+	if math.Abs(s.ReqTimeHours-4.5) > 1e-9 {
+		t.Fatalf("ReqTimeHours = %v, want 4.5", s.ReqTimeHours)
+	}
+	if s.ReqNodes != 16 || s.ReqTasks != 256 {
+		t.Fatalf("nodes/tasks = %v/%v, want 16/256", s.ReqNodes, s.ReqTasks)
+	}
+	if s.JobName != "lulesh_prod" {
+		t.Fatalf("JobName = %q", s.JobName)
+	}
+	if s.Account != "physics" {
+		t.Fatalf("Account = %q", s.Account)
+	}
+	if s.WorkDir != "/p/lustre1/alice/runs" {
+		t.Fatalf("WorkDir = %q", s.WorkDir)
+	}
+	if s.User != "alice" || s.Group != "phys" || s.SubmitDir != "/home/alice" {
+		t.Fatalf("metadata not carried through: %+v", s)
+	}
+}
+
+func TestExtractSpaceSeparatedDirectives(t *testing.T) {
+	s := Extract(RawJob{Script: "#SBATCH -t 90\n#SBATCH --nodes 4\n#SBATCH -J myjob\n"})
+	if math.Abs(s.ReqTimeHours-1.5) > 1e-9 {
+		t.Fatalf("minutes format: %v hours, want 1.5", s.ReqTimeHours)
+	}
+	if s.ReqNodes != 4 {
+		t.Fatalf("nodes = %v", s.ReqNodes)
+	}
+	if s.JobName != "myjob" {
+		t.Fatalf("job name = %q", s.JobName)
+	}
+}
+
+func TestExtractDayFormat(t *testing.T) {
+	s := Extract(RawJob{Script: "#SBATCH --time=1-12:00:00\n"})
+	if math.Abs(s.ReqTimeHours-36) > 1e-9 {
+		t.Fatalf("1-12:00:00 = %v hours, want 36", s.ReqTimeHours)
+	}
+}
+
+func TestExtractHHMM(t *testing.T) {
+	s := Extract(RawJob{Script: "#SBATCH -t 2:30\n"})
+	if math.Abs(s.ReqTimeHours-2.5) > 1e-9 {
+		t.Fatalf("2:30 = %v hours, want 2.5", s.ReqTimeHours)
+	}
+}
+
+func TestExtractMalformedScript(t *testing.T) {
+	// Must not panic and must return zero values.
+	s := Extract(RawJob{Script: "#SBATCH\n#SBATCH -t banana\n#SBATCH -N\ngarbage\x00line\n"})
+	if s.ReqTimeHours != 0 || s.ReqNodes != 0 {
+		t.Fatalf("malformed script parsed as %+v", s)
+	}
+}
+
+func TestExtractWorkDirFallsBackToSubmitDir(t *testing.T) {
+	s := Extract(RawJob{Script: "#SBATCH -N 1\n", SubmitDir: "/home/u"})
+	if s.WorkDir != "/home/u" {
+		t.Fatalf("WorkDir = %q, want submit dir", s.WorkDir)
+	}
+}
+
+func TestExtractCdLine(t *testing.T) {
+	s := Extract(RawJob{Script: "cd /scratch/run42\nsrun ./a\n"})
+	if s.WorkDir != "/scratch/run42" {
+		t.Fatalf("WorkDir = %q", s.WorkDir)
+	}
+}
+
+func TestEncoderStableCodes(t *testing.T) {
+	e := NewEncoder()
+	a := e.Encode(Set{User: "alice", JobName: "j1"})
+	b := e.Encode(Set{User: "bob", JobName: "j2"})
+	a2 := e.Encode(Set{User: "alice", JobName: "j1"})
+	if a[3] != a2[3] || a[6] != a2[6] {
+		t.Fatal("repeat encoding changed codes")
+	}
+	if a[3] == b[3] {
+		t.Fatal("distinct users share a code")
+	}
+	if len(a) != NumFeatures {
+		t.Fatalf("vector width %d, want %d", len(a), NumFeatures)
+	}
+}
+
+func TestEncoderAssignsNewCodesForUnseen(t *testing.T) {
+	e := NewEncoder()
+	e.Encode(Set{User: "u0"})
+	v := e.Encode(Set{User: "u1"})
+	if v[3] != 1 {
+		t.Fatalf("second user coded %v, want 1", v[3])
+	}
+}
+
+func TestEncodeBatch(t *testing.T) {
+	e := NewEncoder()
+	jobs := []RawJob{
+		{Script: "#SBATCH -N 2\n#SBATCH -t 60\n", User: "a"},
+		{Script: "#SBATCH -N 4\n#SBATCH -t 120\n", User: "b"},
+	}
+	rows := e.EncodeBatch(jobs)
+	if len(rows) != 2 {
+		t.Fatalf("batch size %d", len(rows))
+	}
+	if rows[0][1] != 2 || rows[1][1] != 4 {
+		t.Fatalf("node features wrong: %v %v", rows[0][1], rows[1][1])
+	}
+	if rows[0][0] != 1 || rows[1][0] != 2 {
+		t.Fatalf("time features wrong: %v %v", rows[0][0], rows[1][0])
+	}
+	if rows[0][3] == rows[1][3] {
+		t.Fatal("users a and b share a code")
+	}
+}
+
+func TestParseTimeHoursEdgeCases(t *testing.T) {
+	cases := map[string]float64{
+		"":         0,
+		"60":       1,
+		"0:30:00":  0.5,
+		"12:00:00": 12,
+		"2-0:0:0":  48,
+	}
+	for in, want := range cases {
+		if got := parseTimeHours(in); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("parseTimeHours(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

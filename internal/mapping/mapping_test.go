@@ -1,0 +1,219 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"prionn/internal/tensor"
+	"prionn/internal/word2vec"
+)
+
+func TestStandardizePadsShortScript(t *testing.T) {
+	g := Standardize("ab\ncd", 4, 4)
+	want := "ab  cd          "
+	if string(g.Chars) != want {
+		t.Fatalf("grid %q, want %q", g.Chars, want)
+	}
+}
+
+func TestStandardizeCropsLongScript(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString(strings.Repeat("x", 100))
+		sb.WriteByte('\n')
+	}
+	g := Standardize(sb.String(), 8, 8)
+	if len(g.Chars) != 64 {
+		t.Fatalf("grid size %d, want 64", len(g.Chars))
+	}
+	for _, c := range g.Chars {
+		if c != 'x' {
+			t.Fatalf("expected crop to keep only 'x', got %q", c)
+		}
+	}
+}
+
+func TestStandardizeEmptyScript(t *testing.T) {
+	g := Standardize("", 4, 4)
+	for _, c := range g.Chars {
+		if c != ' ' {
+			t.Fatal("empty script must map to all spaces")
+		}
+	}
+}
+
+func TestStandardizeSizeProperty(t *testing.T) {
+	f := func(s string, r8, c8 uint8) bool {
+		rows, cols := int(r8%32)+1, int(c8%32)+1
+		g := Standardize(s, rows, cols)
+		return len(g.Chars) == rows*cols && g.Rows == rows && g.Cols == cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryTransform(t *testing.T) {
+	g := Standardize("a \tb", 1, 4)
+	dst := make([]float32, 4)
+	Binary{}.Apply(g, dst)
+	want := []float32{1, 0, 0, 1}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Fatalf("binary[%d] = %v, want %v", i, dst[i], w)
+		}
+	}
+}
+
+func TestSimpleTransformLossless(t *testing.T) {
+	// Distinct characters must map to distinct values (lossless).
+	g := Standardize("azAZ09#!", 1, 8)
+	dst := make([]float32, 8)
+	Simple{}.Apply(g, dst)
+	seen := map[float32]bool{}
+	for _, v := range dst {
+		if v < 0 || v > 1 {
+			t.Fatalf("simple value %v out of [0,1]", v)
+		}
+		if seen[v] {
+			t.Fatalf("simple transform collided at %v", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestOneHotTransform(t *testing.T) {
+	g := Standardize("ab", 1, 2)
+	dst := make([]float32, 128*2)
+	OneHot{}.Apply(g, dst)
+	// Exactly one 1 per position.
+	for pos := 0; pos < 2; pos++ {
+		ones := 0
+		for ch := 0; ch < 128; ch++ {
+			if dst[ch*2+pos] == 1 {
+				ones++
+				if ch != int(g.Chars[pos]) {
+					t.Fatalf("position %d hot at channel %d, want %d", pos, ch, g.Chars[pos])
+				}
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("position %d has %d hot channels", pos, ones)
+		}
+	}
+}
+
+func TestWord2VecTransform(t *testing.T) {
+	emb := word2vec.Train([]string{"abcd"}, word2vec.Config{Dim: 4, Epochs: 1, Seed: 2, MaxPairs: 100})
+	tr := Word2Vec{Emb: emb}
+	if tr.Channels() != 4 {
+		t.Fatalf("channels %d, want 4", tr.Channels())
+	}
+	g := Standardize("ab", 1, 2)
+	dst := make([]float32, 4*2)
+	tr.Apply(g, dst)
+	va := emb.Vector('a')
+	for d := 0; d < 4; d++ {
+		if dst[d*2+0] != va[d] {
+			t.Fatalf("channel %d for 'a' = %v, want %v", d, dst[d*2], va[d])
+		}
+	}
+}
+
+func TestMapScriptShape(t *testing.T) {
+	x := MapScript("#!/bin/bash\nsrun app\n", Simple{}, 16, 32)
+	if x.Dim(0) != 1 || x.Dim(1) != 16 || x.Dim(2) != 32 {
+		t.Fatalf("shape %v", x.Shape)
+	}
+}
+
+func TestMapBatchMatchesMapScript(t *testing.T) {
+	scripts := []string{
+		"#!/bin/bash\n#SBATCH -N 2\nsrun ./a\n",
+		"echo hi\n",
+		strings.Repeat("longline ", 40),
+	}
+	for _, tr := range []Transform{Binary{}, Simple{}, OneHot{}} {
+		batch := MapBatch(scripts, tr, 8, 16)
+		if batch.Dim(0) != 3 || batch.Dim(1) != tr.Channels() {
+			t.Fatalf("%s batch shape %v", tr.Name(), batch.Shape)
+		}
+		sample := tr.Channels() * 8 * 16
+		for i, s := range scripts {
+			single := MapScript(s, tr, 8, 16)
+			for j := 0; j < sample; j++ {
+				if batch.Data[i*sample+j] != single.Data[j] {
+					t.Fatalf("%s sample %d differs at %d", tr.Name(), i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMapBatchParallelDeterministic(t *testing.T) {
+	scripts := make([]string, 200)
+	for i := range scripts {
+		scripts[i] = strings.Repeat("srun ./app --x 1\n", i%10+1)
+	}
+	prev := tensor.SetMaxWorkers(1)
+	serial := MapBatch(scripts, Simple{}, 8, 8)
+	tensor.SetMaxWorkers(4)
+	par := MapBatch(scripts, Simple{}, 8, 8)
+	tensor.SetMaxWorkers(prev)
+	for i := range serial.Data {
+		if serial.Data[i] != par.Data[i] {
+			t.Fatal("parallel batch mapping differs from serial")
+		}
+	}
+}
+
+func TestOneHotExactlyGridOnes(t *testing.T) {
+	f := func(s string) bool {
+		g := Standardize(s, 8, 8)
+		dst := make([]float32, 128*64)
+		OneHot{}.Apply(g, dst)
+		var sum float32
+		for _, v := range dst {
+			sum += v
+		}
+		return sum == 64 // one hot bit per cell
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllTransforms(t *testing.T) {
+	if got := len(All(nil)); got != 3 {
+		t.Fatalf("All(nil) = %d transforms, want 3", got)
+	}
+	emb := word2vec.Train([]string{"x"}, word2vec.Config{Dim: 2, Epochs: 1, Seed: 1, MaxPairs: 10})
+	ts := All(emb)
+	if len(ts) != 4 {
+		t.Fatalf("All(emb) = %d transforms, want 4", len(ts))
+	}
+	names := map[string]bool{}
+	for _, tr := range ts {
+		names[tr.Name()] = true
+	}
+	for _, n := range []string{"binary", "simple", "one-hot", "word2vec"} {
+		if !names[n] {
+			t.Fatalf("missing transform %q", n)
+		}
+	}
+}
+
+// The 1D layout is the same buffer reshaped: verify the flattening
+// concatenates rows (paper: "all lines of the text are concatenated").
+func TestFlattenedLayoutConcatenatesLines(t *testing.T) {
+	x := MapScript("ab\ncd", Simple{}, 2, 2)
+	flat := x.Reshape(1, 4)
+	g := Standardize("ab\ncd", 2, 2)
+	for i := 0; i < 4; i++ {
+		want := float32(g.Chars[i]) / 127.0
+		if flat.Data[i] != want {
+			t.Fatalf("flat[%d] = %v, want %v", i, flat.Data[i], want)
+		}
+	}
+}

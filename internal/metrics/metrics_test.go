@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelativeAccuracyKnown(t *testing.T) {
+	cases := []struct {
+		truth, pred, want float64
+	}{
+		{100, 100, 1},
+		{0, 0, 1},             // ε prevents 0/0; both zero is a perfect prediction
+		{100, 50, 0.5},        // underprediction
+		{50, 100, 0.5},        // overprediction penalized the same at 2x
+		{100, 0, 0},           // total miss
+		{10, 25, 1 - 15.0/25}, // paper's example direction
+	}
+	for _, c := range cases {
+		got := RelativeAccuracy(c.truth, c.pred)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("RelativeAccuracy(%v, %v) = %v, want %v", c.truth, c.pred, got, c.want)
+		}
+	}
+}
+
+func TestRelativeAccuracyRangeProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b) // resource usage is nonnegative
+		if math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		r := RelativeAccuracy(a, b)
+		return r >= -1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeAccuracyPenalizesUnderprediction(t *testing.T) {
+	// Underpredicting by a factor f scores the same as overpredicting by
+	// the same factor, but underprediction at a fixed absolute error
+	// scores worse: |err| / max picks the larger denominator.
+	under := RelativeAccuracy(100, 70) // err 30, denom 100
+	over := RelativeAccuracy(100, 130) // err 30, denom 130
+	if !(under < over) {
+		t.Fatalf("underprediction %v should score below overprediction %v", under, over)
+	}
+}
+
+func TestRelativeAccuracies(t *testing.T) {
+	got := RelativeAccuracies([]float64{10, 20}, []float64{10, 10})
+	if got[0] != 1 || math.Abs(got[1]-0.5) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	if m := MAE([]float64{1, 2, 3}, []float64{2, 2, 5}); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("MAE = %v, want 1", m)
+	}
+	if m := MAE(nil, nil); m != 0 {
+		t.Fatalf("empty MAE = %v", m)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles %v %v", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Mean != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestSummarizeOrderingProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			// Restrict to the magnitudes the metric actually sees
+			// (accuracies and runtimes); summing near ±MaxFloat64
+			// overflows the mean, which is out of scope.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.WhiskerLo >= s.Min && s.WhiskerHi <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 1, 2, 3, 9, 100, -5}, 0, 10, 5)
+	// bins: [0,2) [2,4) [4,6) [6,8) [8,10]; 100 clamps to last, -5 to first.
+	want := []int{3, 2, 0, 0, 2}
+	for i, w := range want {
+		if h[i] != w {
+			t.Fatalf("hist %v, want %v", h, want)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if h := Histogram([]float64{1}, 5, 5, 3); h[0] != 0 {
+		t.Fatal("degenerate range must count nothing")
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 8}
+	if s := c.Sensitivity(); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("sensitivity %v", s)
+	}
+	if p := c.Precision(); math.Abs(p-0.8) > 1e-12 {
+		t.Fatalf("precision %v", p)
+	}
+	empty := Confusion{}
+	if empty.Sensitivity() != 0 || empty.Precision() != 0 {
+		t.Fatal("empty confusion must report 0")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 || math.Abs(s-2) > 1e-12 {
+		t.Fatalf("mean %v std %v, want 5 and 2", m, s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty MeanStd must be 0,0")
+	}
+}

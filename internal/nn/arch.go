@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math/rand"
+
+	"prionn/internal/tensor"
+)
+
+// ArchConfig describes the input geometry and output size of a PRIONN
+// model. Rows×Cols is the standardized job-script extent (64×64 in the
+// paper), Channels the embedding depth of the data mapping (1 for binary
+// and simple, 128 for one-hot, 4 for word2vec), and Classes the output
+// layer width (960 one-minute runtime bins in the paper).
+type ArchConfig struct {
+	Rows, Cols int
+	Channels   int
+	Classes    int
+	// Width scales the hidden-layer sizes; 1.0 matches the defaults,
+	// smaller values give the fast models used in tests.
+	Width float64
+}
+
+func (c ArchConfig) scaled(base int) int {
+	w := c.Width
+	if w <= 0 {
+		w = 1
+	}
+	n := int(float64(base) * w)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewFullyConnected builds the paper's "NN" model: the mapped script is
+// flattened to a 1D sequence and passed through several fully connected
+// hidden layers.
+func NewFullyConnected(rng *rand.Rand, c ArchConfig) *Sequential {
+	in := c.Rows * c.Cols * c.Channels
+	h1, h2, h3 := c.scaled(256), c.scaled(128), c.scaled(64)
+	return NewSequential(
+		NewFlatten(),
+		NewDense(rng, in, h1),
+		NewReLU(),
+		NewDense(rng, h1, h2),
+		NewReLU(),
+		NewDense(rng, h2, h3),
+		NewReLU(),
+		NewDense(rng, h3, c.Classes),
+	)
+}
+
+// NewCNN1D builds the paper's "1D-CNN": the mapped script is flattened to
+// a 1D sequence of length Rows*Cols with Channels input channels, passed
+// through several 1D convolutional layers and then fully connected
+// layers.
+func NewCNN1D(rng *rand.Rand, c ArchConfig) *Sequential {
+	length := c.Rows * c.Cols
+	f1, f2 := c.scaled(8), c.scaled(16)
+	// Strided convolutions perform the sequence-length reduction.
+	conv1 := NewConv1D(rng, c.Channels, length, f1, 5, 2, 2)
+	_, l1 := conv1.OutDims()
+	conv2 := NewConv1D(rng, f1, l1, f2, 5, 2, 2)
+	_, l2 := conv2.OutDims()
+	h1 := c.scaled(128)
+	return NewSequential(
+		conv1,
+		NewReLU(),
+		conv2,
+		NewReLU(),
+		NewFlatten(),
+		NewDense(rng, f2*l2, h1),
+		NewReLU(),
+		NewDense(rng, h1, c.Classes),
+	)
+}
+
+// poolFloor is the smallest spatial extent NewCNN2D pools down to; job
+// scripts are small images whose discriminative detail (numeric
+// parameters, binary names) lives at character scale, so over-pooling
+// destroys signal.
+const poolFloor = 16
+
+// NewCNN2D builds PRIONN's selected model: a 2D CNN with four
+// convolutional layers and four fully connected layers over the 2D
+// image-like script matrix (paper §2.4).
+func NewCNN2D(rng *rand.Rand, c ArchConfig) *Sequential {
+	f1, f2, f3, f4 := c.scaled(8), c.scaled(12), c.scaled(16), c.scaled(24)
+	spec := func() tensor.ConvSpec { return tensor.ConvSpec{KH: 3, KW: 3, Stride: 1, PadH: 1, PadW: 1} }
+
+	layers := []Layer{}
+	ch, h, w := c.Channels, c.Rows, c.Cols
+	for _, f := range []int{f1, f2, f3, f4} {
+		conv := NewConv2D(rng, ch, h, w, f, spec())
+		layers = append(layers, conv, NewReLU())
+		ch = f
+		if h > poolFloor && w > poolFloor {
+			pool := NewMaxPool2D(ch, h, w, 2, 2)
+			layers = append(layers, pool)
+			h, w = pool.OutDims()
+		}
+	}
+	flat := ch * h * w
+	h1, h2, h3 := c.scaled(256), c.scaled(128), c.scaled(64)
+	layers = append(layers,
+		NewFlatten(),
+		NewDense(rng, flat, h1),
+		NewReLU(),
+		NewDense(rng, h1, h2),
+		NewReLU(),
+		NewDense(rng, h2, h3),
+		NewReLU(),
+		NewDense(rng, h3, c.Classes),
+	)
+	return NewSequential(layers...)
+}

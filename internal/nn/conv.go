@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prionn/internal/tensor"
+)
+
+// Conv2D is a 2D convolutional layer over [N, C, H, W] batches. Input
+// channel count and spatial extent are fixed at construction so the layer
+// can validate shapes and report its output size.
+type Conv2D struct {
+	InC, InH, InW int
+	Filters       int
+	Spec          tensor.ConvSpec
+	W             *tensor.Tensor // [F, C*KH*KW]
+	B             *tensor.Tensor // [F]
+	dW, dB        *tensor.Tensor
+	cols          []*tensor.Tensor
+}
+
+// NewConv2D returns a Conv2D layer with He-initialized kernels. It panics
+// if the spec is invalid for the declared input extent.
+func NewConv2D(rng *rand.Rand, inC, inH, inW, filters int, spec tensor.ConvSpec) *Conv2D {
+	if err := spec.Validate(inH, inW); err != nil {
+		panic(fmt.Sprintf("nn: bad Conv2D spec: %v", err))
+	}
+	fanIn := inC * spec.KH * spec.KW
+	return &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		Filters: filters,
+		Spec:    spec,
+		W:       tensor.New(filters, fanIn).HeInit(rng, fanIn),
+		B:       tensor.New(filters),
+		dW:      tensor.New(filters, fanIn),
+		dB:      tensor.New(filters),
+	}
+}
+
+// OutDims returns the spatial extent of the layer output.
+func (c *Conv2D) OutDims() (oh, ow int) { return c.Spec.OutDims(c.InH, c.InW) }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return "conv2d" }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		x = x.Reshape(x.Dim(0), c.InC, c.InH, c.InW)
+	}
+	y, cols := tensor.Conv2DForward(x, c.W, c.B, c.InC, c.InH, c.InW, c.Spec, train)
+	c.cols = cols
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic("nn: Conv2D.Backward without a train-mode Forward")
+	}
+	dx := tensor.Conv2DBackward(dy, c.W, c.cols, c.dW, c.dB, c.InC, c.InH, c.InW, c.Spec)
+	c.cols = nil
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }
+
+// NewConv1D returns a 1D convolutional layer over [N, C, L] sequences,
+// implemented as a Conv2D with unit height: kernel 1×k, input C×1×L.
+func NewConv1D(rng *rand.Rand, inC, length, filters, k, stride, pad int) *Conv2D {
+	return NewConv2D(rng, inC, 1, length, filters,
+		tensor.ConvSpec{KH: 1, KW: k, Stride: stride, PadW: pad})
+}
+
+// MaxPool2D is a max-pooling layer over [N, C, H, W] batches.
+type MaxPool2D struct {
+	InC, InH, InW int
+	Spec          tensor.ConvSpec
+	argmax        []int32
+	n             int
+}
+
+// NewMaxPool2D returns a max-pooling layer with the given window and
+// stride (no padding).
+func NewMaxPool2D(inC, inH, inW, window, stride int) *MaxPool2D {
+	spec := tensor.ConvSpec{KH: window, KW: window, Stride: stride}
+	if err := spec.Validate(inH, inW); err != nil {
+		panic(fmt.Sprintf("nn: bad MaxPool2D spec: %v", err))
+	}
+	return &MaxPool2D{InC: inC, InH: inH, InW: inW, Spec: spec}
+}
+
+// OutDims returns the spatial extent of the pooled output.
+func (p *MaxPool2D) OutDims() (oh, ow int) { return p.Spec.OutDims(p.InH, p.InW) }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return "maxpool2d" }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		x = x.Reshape(x.Dim(0), p.InC, p.InH, p.InW)
+	}
+	p.n = x.Dim(0)
+	y, argmax := tensor.MaxPool2DForward(x, p.InC, p.InH, p.InW, p.Spec)
+	p.argmax = argmax
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPool2DBackward(dy, p.argmax, p.n, p.InC, p.InH, p.InW)
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*tensor.Tensor { return nil }

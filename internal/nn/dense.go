@@ -1,0 +1,194 @@
+package nn
+
+import (
+	"math/rand"
+
+	"prionn/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = x·W + b over batches
+// [N, in] → [N, out].
+type Dense struct {
+	In, Out int
+	W       *tensor.Tensor // [in, out]
+	B       *tensor.Tensor // [out]
+	dW, dB  *tensor.Tensor
+	x       *tensor.Tensor // cached input
+}
+
+// NewDense returns a Dense layer with He-initialized weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		In:  in,
+		Out: out,
+		W:   tensor.New(in, out).HeInit(rng, in),
+		B:   tensor.New(out),
+		dW:  tensor.New(in, out),
+		dB:  tensor.New(out),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return "dense" }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		x = x.Reshape(x.Dim(0), -1)
+	}
+	d.x = x
+	y := tensor.MatMul(nil, x, d.W)
+	y.AddRowVector(d.B)
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	// dW += xᵀ·dy ; dB += column sums of dy ; dx = dy·Wᵀ
+	d.dW.Add(tensor.MatMulTransA(nil, d.x, dy))
+	d.dB.Add(dy.SumRows(nil))
+	return tensor.MatMulTransB(nil, dy, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }
+
+// ReLU applies the rectified linear unit elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if cap(r.mask) < y.Len() {
+		r.mask = make([]bool, y.Len())
+	}
+	r.mask = r.mask[:y.Len()]
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Flatten reshapes [N, ...] to [N, features], remembering the input shape
+// so the gradient can be restored on the way back.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// Dropout randomly zeroes activations at train time with probability P and
+// rescales survivors by 1/(1-P) (inverted dropout), acting as identity at
+// inference time.
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	mask []float32
+}
+
+// NewDropout returns a Dropout layer with drop probability p in [0, 1).
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	if cap(d.mask) < y.Len() {
+		d.mask = make([]float32, y.Len())
+	}
+	d.mask = d.mask[:y.Len()]
+	scale := float32(1 / (1 - d.P))
+	for i := range y.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = scale
+			y.Data[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return dy
+	}
+	dx := dy.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= d.mask[i]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,43 @@
+// Package nn is a small neural-network framework built on package tensor.
+// It provides the three deep-learning architectures evaluated by PRIONN —
+// a fully connected network (NN), a 1D convolutional network (1D-CNN), and
+// a 2D convolutional network (2D-CNN) — as compositions of layers with
+// exact backpropagation, SGD/Adam optimizers, gob snapshots, and the
+// warm-start retraining behaviour the paper's online loop depends on
+// (models are retrained, not re-initialized, so knowledge persists across
+// training events).
+package nn
+
+import "prionn/internal/tensor"
+
+// Layer is one differentiable stage of a Sequential model.
+//
+// Forward consumes the batch produced by the previous layer and caches
+// whatever it needs for Backward. Backward consumes the gradient of the
+// loss with respect to the layer's output, accumulates gradients into the
+// tensors returned by Grads, and returns the gradient with respect to its
+// input. A Forward/Backward pair must not be interleaved with another
+// pair on the same layer.
+type Layer interface {
+	// Forward runs the layer on a batch. train toggles train-time
+	// behaviour such as dropout.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the upstream gradient and returns the gradient
+	// with respect to the layer input.
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns the gradient accumulators matching Params.
+	Grads() []*tensor.Tensor
+	// Name identifies the layer kind for diagnostics and snapshots.
+	Name() string
+}
+
+// zeroGrads clears every gradient accumulator of a layer stack.
+func zeroGrads(layers []Layer) {
+	for _, l := range layers {
+		for _, g := range l.Grads() {
+			g.Zero()
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math"
+
+	"prionn/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// [N, K] against integer class labels, together with the gradient of the
+// loss with respect to the logits (softmax(x) - onehot(y), scaled by 1/N).
+//
+// PRIONN's heads are classifiers — e.g. the runtime head has one output
+// node per minute in [0, 960] — so this is the only loss the models need.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, dlogits *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic("nn: SoftmaxCrossEntropy requires rank-2 logits")
+	}
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic("nn: label count does not match batch size")
+	}
+	probs := logits.Clone().SoftmaxRows()
+	dlogits = probs // reuse: gradient is probs with the label entries shifted
+	invN := float32(1.0 / float64(n))
+	var total float64
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic("nn: label out of range")
+		}
+		p := probs.At(i, y)
+		// Clamp to avoid log(0) for confidently wrong predictions.
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(float64(p))
+		row := dlogits.Row(i)
+		row[y] -= 1
+		for j := range row {
+			row[j] *= invN
+		}
+	}
+	return total / float64(n), dlogits
+}
+
+// Accuracy returns the fraction of rows of logits whose argmax equals the
+// label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n := logits.Dim(0)
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		if logits.ArgMaxRow(i) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"prionn/internal/tensor"
+)
+
+// Sequential is a feed-forward stack of layers trained with softmax
+// cross-entropy. It is the model container for all three PRIONN deep
+// learning architectures.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a model from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the full stack and returns the logits.
+func (m *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates a logits gradient through the stack, accumulating
+// parameter gradients.
+func (m *Sequential) Backward(dy *tensor.Tensor) {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dy = m.Layers[i].Backward(dy)
+	}
+}
+
+// TrainBatch performs one optimization step on a batch (inputs x, integer
+// labels) and returns the batch loss.
+func (m *Sequential) TrainBatch(x *tensor.Tensor, labels []int, opt Optimizer) float64 {
+	zeroGrads(m.Layers)
+	logits := m.Forward(x, true)
+	loss, dlogits := SoftmaxCrossEntropy(logits, labels)
+	m.Backward(dlogits)
+	params, grads := m.collect()
+	opt.Step(params, grads)
+	return loss
+}
+
+func (m *Sequential) collect() (params, grads []*tensor.Tensor) {
+	for _, l := range m.Layers {
+		params = append(params, l.Params()...)
+		grads = append(grads, l.Grads()...)
+	}
+	return params, grads
+}
+
+// FitOptions configures Sequential.Fit.
+type FitOptions struct {
+	Epochs    int
+	BatchSize int
+	Shuffle   *rand.Rand // nil disables shuffling
+	// Verbose receives one line per epoch when non-nil.
+	Verbose func(epoch int, loss float64)
+}
+
+// Fit trains the model on a dataset of stacked samples x [N, ...] with
+// labels, iterating epochs × minibatches, and returns the final epoch's
+// mean loss.
+func (m *Sequential) Fit(x *tensor.Tensor, labels []int, opt Optimizer, o FitOptions) float64 {
+	n := x.Dim(0)
+	if n == 0 {
+		return 0
+	}
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d samples but %d labels", n, len(labels)))
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 1
+	}
+	if o.BatchSize <= 0 || o.BatchSize > n {
+		o.BatchSize = n
+	}
+	sampleLen := x.Len() / n
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	bx := tensor.New(append([]int{o.BatchSize}, x.Shape[1:]...)...)
+	bl := make([]int, o.BatchSize)
+	var epochLoss float64
+	for e := 0; e < o.Epochs; e++ {
+		if o.Shuffle != nil {
+			o.Shuffle.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		var total float64
+		batches := 0
+		for start := 0; start < n; start += o.BatchSize {
+			end := start + o.BatchSize
+			if end > n {
+				end = n
+			}
+			bs := end - start
+			var xb *tensor.Tensor
+			var lb []int
+			if bs == o.BatchSize {
+				xb, lb = bx, bl
+			} else {
+				xb = tensor.New(append([]int{bs}, x.Shape[1:]...)...)
+				lb = make([]int, bs)
+			}
+			for i := 0; i < bs; i++ {
+				src := order[start+i]
+				copy(xb.Data[i*sampleLen:(i+1)*sampleLen], x.Data[src*sampleLen:(src+1)*sampleLen])
+				lb[i] = labels[src]
+			}
+			total += m.TrainBatch(xb, lb, opt)
+			batches++
+		}
+		epochLoss = total / float64(batches)
+		if o.Verbose != nil {
+			o.Verbose(e, epochLoss)
+		}
+	}
+	return epochLoss
+}
+
+// Predict returns the logits for a batch without touching train-time
+// state.
+func (m *Sequential) Predict(x *tensor.Tensor) *tensor.Tensor {
+	return m.Forward(x, false)
+}
+
+// PredictClasses returns the argmax class per sample.
+func (m *Sequential) PredictClasses(x *tensor.Tensor) []int {
+	logits := m.Predict(x)
+	out := make([]int, logits.Dim(0))
+	for i := range out {
+		out[i] = logits.ArgMaxRow(i)
+	}
+	return out
+}
+
+// snapshot is the gob wire format for model parameters.
+type snapshot struct {
+	Shapes [][]int
+	Data   [][]float32
+}
+
+// Save writes the model parameters (not the architecture) to w with gob.
+// A model restored with Load must be built with the identical layer
+// configuration.
+func (m *Sequential) Save(w io.Writer) error {
+	params, _ := m.collect()
+	s := snapshot{}
+	for _, p := range params {
+		s.Shapes = append(s.Shapes, p.Shape)
+		s.Data = append(s.Data, p.Data)
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load restores parameters saved by Save into an identically structured
+// model.
+func (m *Sequential) Load(r io.Reader) error {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return err
+	}
+	params, _ := m.collect()
+	if len(params) != len(s.Data) {
+		return fmt.Errorf("nn: snapshot has %d parameter tensors, model has %d", len(s.Data), len(params))
+	}
+	for i, p := range params {
+		if len(p.Data) != len(s.Data[i]) {
+			return fmt.Errorf("nn: parameter %d size mismatch: snapshot %d vs model %d (shape %v vs %v)",
+				i, len(s.Data[i]), len(p.Data), s.Shapes[i], p.Shape)
+		}
+		copy(p.Data, s.Data[i])
+	}
+	return nil
+}
+
+// CopyParamsFrom copies parameter values from src into m. Both models
+// must have identical architectures. This is the warm-start primitive:
+// PRIONN retrains the existing parameters rather than re-initializing.
+func (m *Sequential) CopyParamsFrom(src *Sequential) error {
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		return err
+	}
+	return m.Load(&buf)
+}
+
+// NumParams returns the total trainable parameter count.
+func (m *Sequential) NumParams() int {
+	params, _ := m.collect()
+	n := 0
+	for _, p := range params {
+		n += p.Len()
+	}
+	return n
+}

@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LRAdjuster is implemented by optimizers whose learning rate can be
+// changed mid-training (both SGD and Adam qualify). Schedules operate
+// through this interface.
+type LRAdjuster interface {
+	LearningRate() float64
+	SetLearningRate(lr float64)
+}
+
+// LearningRate implements LRAdjuster.
+func (s *SGD) LearningRate() float64 { return s.LR }
+
+// SetLearningRate implements LRAdjuster.
+func (s *SGD) SetLearningRate(lr float64) { s.LR = lr }
+
+// LearningRate implements LRAdjuster.
+func (a *Adam) LearningRate() float64 { return a.LR }
+
+// SetLearningRate implements LRAdjuster.
+func (a *Adam) SetLearningRate(lr float64) { a.LR = lr }
+
+// StepDecay halves (or scales by Factor) the learning rate every Every
+// epochs — the standard staircase schedule.
+type StepDecay struct {
+	Base   float64 // learning rate at epoch 0
+	Factor float64 // multiplicative decay, e.g. 0.5
+	Every  int     // epochs between decays
+}
+
+// At returns the learning rate for an epoch.
+func (d StepDecay) At(epoch int) float64 {
+	if d.Every <= 0 {
+		return d.Base
+	}
+	lr := d.Base
+	for k := 0; k < epoch/d.Every; k++ {
+		lr *= d.Factor
+	}
+	return lr
+}
+
+// Apply installs the schedule into a FitOptions Verbose hook position:
+// call it at the start of each epoch.
+func (d StepDecay) Apply(opt LRAdjuster, epoch int) {
+	opt.SetLearningRate(d.At(epoch))
+}
+
+// Describe returns a human-readable summary of the model: one line per
+// layer with its parameter count, plus a total.
+func (m *Sequential) Describe() string {
+	var b strings.Builder
+	total := 0
+	for i, l := range m.Layers {
+		n := 0
+		for _, p := range l.Params() {
+			n += p.Len()
+		}
+		total += n
+		fmt.Fprintf(&b, "%2d  %-10s %9d params", i, l.Name(), n)
+		if c, ok := l.(*Conv2D); ok {
+			oh, ow := c.OutDims()
+			fmt.Fprintf(&b, "  %dx%dx%d -> %dx%dx%d", c.InC, c.InH, c.InW, c.Filters, oh, ow)
+		}
+		if d, ok := l.(*Dense); ok {
+			fmt.Fprintf(&b, "  %d -> %d", d.In, d.Out)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "total %d params\n", total)
+	return b.String()
+}
+
+// GradientNorms returns the L2 norm of each parameter-gradient tensor,
+// in layer order — a training-health diagnostic (vanishing or exploding
+// gradients show up immediately).
+func (m *Sequential) GradientNorms() []float64 {
+	var out []float64
+	for _, l := range m.Layers {
+		for _, g := range l.Grads() {
+			out = append(out, g.L2Norm())
+		}
+	}
+	return out
+}

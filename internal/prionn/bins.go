@@ -1,0 +1,76 @@
+package prionn
+
+import "math"
+
+// runtimeBins maps runtimes in minutes to classifier classes and back.
+// With Classes == MaxMin each class is one minute, the paper's setting
+// ("the output layer is 960 nodes ... each node is associated with a
+// runtime in minutes between 0 and 960").
+type runtimeBins struct {
+	Classes int
+	MaxMin  int
+}
+
+// Class returns the class index for a runtime in minutes.
+func (b runtimeBins) Class(minutes int) int {
+	if minutes < 0 {
+		minutes = 0
+	}
+	if minutes > b.MaxMin {
+		minutes = b.MaxMin
+	}
+	c := minutes * b.Classes / (b.MaxMin + 1)
+	if c >= b.Classes {
+		c = b.Classes - 1
+	}
+	return c
+}
+
+// Minutes returns the representative runtime (bin center) of a class.
+func (b runtimeBins) Minutes(class int) int {
+	if class < 0 {
+		class = 0
+	}
+	if class >= b.Classes {
+		class = b.Classes - 1
+	}
+	w := float64(b.MaxMin+1) / float64(b.Classes)
+	return int(math.Round((float64(class) + 0.5) * w))
+}
+
+// ioBins maps total byte counts to log-scale classes and back. Class 0
+// absorbs everything at or below Min (including zero-IO jobs); the
+// remaining classes split [log Min, log Max] evenly.
+type ioBins struct {
+	Classes  int
+	Min, Max float64
+}
+
+// Class returns the class index for a byte count.
+func (b ioBins) Class(bytes float64) int {
+	if bytes <= b.Min {
+		return 0
+	}
+	if bytes >= b.Max {
+		return b.Classes - 1
+	}
+	frac := (math.Log(bytes) - math.Log(b.Min)) / (math.Log(b.Max) - math.Log(b.Min))
+	c := 1 + int(frac*float64(b.Classes-1))
+	if c >= b.Classes {
+		c = b.Classes - 1
+	}
+	return c
+}
+
+// Bytes returns the representative byte count (geometric bin center) of
+// a class. Class 0 maps to zero bytes.
+func (b ioBins) Bytes(class int) float64 {
+	if class <= 0 {
+		return 0
+	}
+	if class >= b.Classes {
+		class = b.Classes - 1
+	}
+	span := (math.Log(b.Max) - math.Log(b.Min)) / float64(b.Classes-1)
+	return math.Exp(math.Log(b.Min) + (float64(class-1)+0.5)*span)
+}

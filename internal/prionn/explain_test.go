@@ -1,0 +1,92 @@
+package prionn
+
+import (
+	"strings"
+	"testing"
+)
+
+func trainedTinyPredictor(t *testing.T) (*Predictor, string) {
+	t.Helper()
+	jobs := testJobs(60)
+	cfg := TinyConfig()
+	cfg.PredictIO = false
+	cfg.Epochs = 2
+	scripts := make([]string, len(jobs))
+	for i, j := range jobs {
+		scripts[i] = j.Script
+	}
+	p, err := New(cfg, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(jobs[:40]); err != nil {
+		t.Fatal(err)
+	}
+	return p, jobs[0].Script
+}
+
+func TestExplainRuntimeShape(t *testing.T) {
+	p, script := trainedTinyPredictor(t)
+	s := p.ExplainRuntime(script)
+	if s.Rows != p.Config.Rows || s.Cols != p.Config.Cols {
+		t.Fatalf("saliency extent %dx%d", s.Rows, s.Cols)
+	}
+	if len(s.Weights) != s.Rows*s.Cols {
+		t.Fatalf("weights length %d", len(s.Weights))
+	}
+	var maxW float32
+	for _, w := range s.Weights {
+		if w < 0 || w > 1 {
+			t.Fatalf("weight %v out of [0,1]", w)
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW < 0.999 {
+		t.Fatalf("max weight %v, want normalized ≈1", maxW)
+	}
+}
+
+func TestExplainDoesNotPerturbPredictions(t *testing.T) {
+	p, script := trainedTinyPredictor(t)
+	before := p.PredictOne(script)
+	p.ExplainRuntime(script)
+	after := p.PredictOne(script)
+	if before != after {
+		t.Fatalf("explanation changed the model: %+v vs %+v", before, after)
+	}
+}
+
+func TestTopCells(t *testing.T) {
+	p, script := trainedTinyPredictor(t)
+	s := p.ExplainRuntime(script)
+	top := s.TopCells(5)
+	if len(top) == 0 {
+		t.Fatal("no salient cells")
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Weight > top[i-1].Weight {
+			t.Fatal("TopCells not sorted")
+		}
+	}
+	for _, c := range top {
+		if c.Row < 0 || c.Row >= s.Rows || c.Col < 0 || c.Col >= s.Cols {
+			t.Fatalf("cell out of range: %+v", c)
+		}
+	}
+}
+
+func TestSaliencyRender(t *testing.T) {
+	p, script := trainedTinyPredictor(t)
+	s := p.ExplainRuntime(script)
+	out := s.Render()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	// The render must contain bracket highlighting somewhere (the max
+	// cell has weight 1 > 0.5).
+	if !strings.Contains(out, "[") {
+		t.Fatal("no highlighted cells in render")
+	}
+}

@@ -1,0 +1,107 @@
+package prionn
+
+import (
+	"sort"
+
+	"prionn/internal/trace"
+)
+
+// OnlineRecord pairs one submitted job with the prediction PRIONN made
+// at its submission instant.
+type OnlineRecord struct {
+	Job  trace.Job
+	Pred Prediction
+	// Predicted is false for jobs submitted before the first training
+	// event (no model existed yet) and for canceled jobs.
+	Predicted bool
+}
+
+// RunOnline emulates the paper's deployment (§2.3): jobs arrive in
+// submission order; each job's resources are predicted at submission
+// time; after every cfg.RetrainEvery submissions the models are
+// retrained — warm-start — on the cfg.TrainWindow most recently
+// completed jobs (a job counts as completed once its end time has
+// passed the current submission clock). The word2vec embedding is
+// trained once, on the scripts of the first training window.
+//
+// progress, when non-nil, is called after every training event with the
+// number of submissions processed so far.
+func RunOnline(jobs []trace.Job, cfg Config, progress func(done, total int)) ([]OnlineRecord, error) {
+	// Pending completions ordered by end time.
+	type completion struct {
+		end int64
+		idx int
+	}
+	pending := make([]completion, 0, len(jobs))
+	for i, j := range jobs {
+		if !j.Canceled {
+			pending = append(pending, completion{end: j.SubmitTime + j.ActualSec, idx: i})
+		}
+	}
+	sort.Slice(pending, func(a, b int) bool { return pending[a].end < pending[b].end })
+
+	var completed []int // indices into jobs, in completion order
+	pi := 0
+
+	var p *Predictor
+	records := make([]OnlineRecord, len(jobs))
+	sinceTrain := 0
+
+	for i, j := range jobs {
+		// Advance the completion stream to this submission instant.
+		for pi < len(pending) && pending[pi].end <= j.SubmitTime {
+			completed = append(completed, pending[pi].idx)
+			pi++
+		}
+
+		sinceTrain++
+		if sinceTrain >= cfg.RetrainEvery && len(completed) > 0 {
+			window := completed
+			if len(window) > cfg.TrainWindow {
+				window = window[len(window)-cfg.TrainWindow:]
+			}
+			batch := make([]trace.Job, len(window))
+			scripts := make([]string, len(window))
+			for k, idx := range window {
+				batch[k] = jobs[idx]
+				scripts[k] = jobs[idx].Script
+				if cfg.IncludeDeck {
+					scripts[k] += "\n" + jobs[idx].InputDeck
+				}
+			}
+			if p == nil {
+				var err error
+				p, err = New(cfg, scripts)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.Train(batch); err != nil {
+				return nil, err
+			}
+			sinceTrain = 0
+			if progress != nil {
+				progress(i+1, len(jobs))
+			}
+		}
+
+		records[i].Job = j
+		if p != nil && p.Trained() && !j.Canceled {
+			records[i].Pred = p.PredictJob(j)
+			records[i].Predicted = true
+		}
+	}
+	return records, nil
+}
+
+// PredictedRecords filters an online run down to the records that carry
+// a prediction (post-first-training, non-canceled).
+func PredictedRecords(records []OnlineRecord) []OnlineRecord {
+	out := make([]OnlineRecord, 0, len(records))
+	for _, r := range records {
+		if r.Predicted {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package prionn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"prionn/internal/mapping"
+	"prionn/internal/word2vec"
+)
+
+// persistedPredictor is the gob wire format for a full predictor: the
+// configuration, the trained character embedding, and the parameter
+// snapshots of every head. The architecture is rebuilt from the
+// configuration on load, then the snapshots are restored into it.
+type persistedPredictor struct {
+	Config    Config
+	Embedding *word2vec.Embedding // nil unless Transform == word2vec
+	Trained   bool
+	Runtime   []byte
+	Read      []byte
+	Write     []byte
+	Power     []byte
+}
+
+// Save serializes the predictor — configuration, embedding, and all
+// trained parameters — so a deployment can restore it without retraining
+// (the paper's tool runs persistently on a dedicated node; restarting it
+// must not lose the warm-start state).
+func (p *Predictor) Save(w io.Writer) error {
+	pp := persistedPredictor{Config: p.Config, Embedding: p.emb, Trained: p.trained}
+	snap := func(m interface{ Save(io.Writer) error }) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	var err error
+	if pp.Runtime, err = snap(p.runtime); err != nil {
+		return err
+	}
+	if p.Config.PredictIO {
+		if pp.Read, err = snap(p.read); err != nil {
+			return err
+		}
+		if pp.Write, err = snap(p.write); err != nil {
+			return err
+		}
+	}
+	if p.Config.PredictPower {
+		if pp.Power, err = snap(p.power); err != nil {
+			return err
+		}
+	}
+	return gob.NewEncoder(w).Encode(pp)
+}
+
+// Load restores a predictor saved with Save.
+func Load(r io.Reader) (*Predictor, error) {
+	var pp persistedPredictor
+	if err := gob.NewDecoder(r).Decode(&pp); err != nil {
+		return nil, err
+	}
+	if err := pp.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("prionn: persisted config invalid: %w", err)
+	}
+	// Rebuild with an empty corpus: the trained embedding is restored
+	// directly rather than retrained.
+	p, err := New(pp.Config, nil)
+	if err != nil {
+		return nil, err
+	}
+	if pp.Config.Transform == TransformWord2Vec {
+		if pp.Embedding == nil {
+			return nil, fmt.Errorf("prionn: persisted word2vec predictor lacks an embedding")
+		}
+		p.emb = pp.Embedding
+		p.transform = mapping.Word2Vec{Emb: pp.Embedding}
+	}
+	restore := func(m interface{ Load(io.Reader) error }, data []byte) error {
+		return m.Load(bytes.NewReader(data))
+	}
+	if err := restore(p.runtime, pp.Runtime); err != nil {
+		return nil, err
+	}
+	if pp.Config.PredictIO {
+		if err := restore(p.read, pp.Read); err != nil {
+			return nil, err
+		}
+		if err := restore(p.write, pp.Write); err != nil {
+			return nil, err
+		}
+	}
+	if pp.Config.PredictPower {
+		if err := restore(p.power, pp.Power); err != nil {
+			return nil, err
+		}
+	}
+	p.trained = pp.Trained
+	return p, nil
+}
+
+// SaveFile writes the predictor to a file.
+func (p *Predictor) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Save(f)
+}
+
+// LoadFile restores a predictor from a file written by SaveFile.
+func LoadFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,144 @@
+package prionn
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	jobs := testJobs(60)
+	cfg := TinyConfig()
+	cfg.PredictIO = true
+	cfg.PredictPower = true
+	cfg.IncludeDeck = true
+	cfg.Epochs = 1
+	scripts := make([]string, len(jobs))
+	for i, j := range jobs {
+		scripts[i] = j.Script
+	}
+	p, err := New(cfg, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(jobs[:40]); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Trained() {
+		t.Fatal("restored predictor lost trained state")
+	}
+
+	// Predictions must be bit-identical.
+	for _, j := range jobs[:10] {
+		a, b := p.PredictJob(j), restored.PredictJob(j)
+		if a != b {
+			t.Fatalf("prediction differs after restore: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	jobs := testJobs(40)
+	cfg := TinyConfig()
+	cfg.PredictIO = false
+	cfg.Epochs = 1
+	scripts := []string{jobs[0].Script}
+	p, err := New(cfg, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(jobs[:20]); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.PredictJob(jobs[0]), p.PredictJob(jobs[0]); got != want {
+		t.Fatalf("file round trip differs: %+v vs %+v", got, want)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/model.gob"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSaveLoadPreservesEmbedding(t *testing.T) {
+	jobs := testJobs(30)
+	cfg := TinyConfig()
+	cfg.PredictIO = false
+	cfg.Epochs = 1
+	scripts := make([]string, len(jobs))
+	for i, j := range jobs {
+		scripts[i] = j.Script
+	}
+	p, err := New(cfg, scripts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Train(jobs[:20])
+	var buf bytes.Buffer
+	p.Save(&buf)
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 128; c++ {
+		va := p.emb.Vectors[c]
+		vb := restored.emb.Vectors[c]
+		for d := range va {
+			if va[d] != vb[d] {
+				t.Fatal("embedding changed across persistence")
+			}
+		}
+	}
+}
+
+func TestWarmStartSurvivesPersistence(t *testing.T) {
+	// Save → load → continue training must work (optimizer state is
+	// rebuilt, parameters persist).
+	jobs := testJobs(80)
+	cfg := TinyConfig()
+	cfg.PredictIO = false
+	cfg.Epochs = 1
+	scripts := make([]string, len(jobs))
+	for i, j := range jobs {
+		scripts[i] = j.Script
+	}
+	p, _ := New(cfg, scripts)
+	p.Train(jobs[:40])
+	var buf bytes.Buffer
+	p.Save(&buf)
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Train(jobs[40:]); err != nil {
+		t.Fatalf("training after restore failed: %v", err)
+	}
+}

@@ -1,0 +1,270 @@
+package prionn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prionn/internal/mapping"
+	"prionn/internal/nn"
+	"prionn/internal/tensor"
+	"prionn/internal/trace"
+	"prionn/internal/word2vec"
+)
+
+// Prediction is PRIONN's per-job output.
+type Prediction struct {
+	RuntimeMin int     // predicted runtime, minutes
+	ReadBytes  float64 // predicted total bytes read
+	WriteBytes float64 // predicted total bytes written
+	PowerW     float64 // predicted mean power draw (0 unless PredictPower)
+}
+
+// ReadBW returns the read bandwidth implied by the prediction: the paper
+// computes bandwidth "by dividing the total bytes read and written with
+// the predicted runtimes of jobs".
+func (p Prediction) ReadBW() float64 {
+	if p.RuntimeMin <= 0 {
+		return 0
+	}
+	return p.ReadBytes / (float64(p.RuntimeMin) * 60)
+}
+
+// WriteBW returns the write bandwidth implied by the prediction.
+func (p Prediction) WriteBW() float64 {
+	if p.RuntimeMin <= 0 {
+		return 0
+	}
+	return p.WriteBytes / (float64(p.RuntimeMin) * 60)
+}
+
+// Predictor is the PRIONN tool: a trained data mapping plus one deep
+// learning classifier per target (runtime, bytes read, bytes written).
+// Retraining is warm-start: Train updates the existing parameters, so
+// knowledge accumulates across training events (§2.3).
+type Predictor struct {
+	Config Config
+
+	transform mapping.Transform
+	emb       *word2vec.Embedding
+
+	runtime *nn.Sequential
+	read    *nn.Sequential
+	write   *nn.Sequential
+	power   *nn.Sequential
+
+	runtimeOpt nn.Optimizer
+	readOpt    nn.Optimizer
+	writeOpt   nn.Optimizer
+	powerOpt   nn.Optimizer
+
+	rbins runtimeBins
+	iobin ioBins
+	pbins ioBins // log-scale watt bins reuse the IO binning
+
+	rng     *rand.Rand
+	trained bool
+}
+
+// New builds an untrained predictor. When cfg.Transform is word2vec, the
+// character embedding is trained on corpus (historical job scripts);
+// other transforms ignore corpus.
+func New(cfg Config, corpus []string) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Predictor{
+		Config: cfg,
+		rbins:  runtimeBins{Classes: cfg.RuntimeClasses, MaxMin: cfg.MaxRuntimeMin},
+		iobin:  ioBins{Classes: cfg.IOClasses, Min: cfg.MinIOBytes, Max: cfg.MaxIOBytes},
+		pbins:  ioBins{Classes: cfg.PowerClasses, Min: cfg.MinPowerW, Max: cfg.MaxPowerW},
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	switch cfg.Transform {
+	case TransformBinary:
+		p.transform = mapping.Binary{}
+	case TransformSimple:
+		p.transform = mapping.Simple{}
+	case TransformOneHot:
+		p.transform = mapping.OneHot{}
+	case TransformWord2Vec:
+		w2vCfg := word2vec.DefaultConfig()
+		w2vCfg.Dim = cfg.EmbeddingDim
+		w2vCfg.Seed = cfg.Seed
+		p.emb = word2vec.Train(corpus, w2vCfg)
+		p.transform = mapping.Word2Vec{Emb: p.emb}
+	}
+	p.runtime = p.buildModel(cfg.RuntimeClasses)
+	p.runtimeOpt = nn.NewAdam(cfg.LR)
+	if cfg.PredictIO {
+		p.read = p.buildModel(cfg.IOClasses)
+		p.write = p.buildModel(cfg.IOClasses)
+		p.readOpt = nn.NewAdam(cfg.LR)
+		p.writeOpt = nn.NewAdam(cfg.LR)
+	}
+	if cfg.PredictPower {
+		p.power = p.buildModel(cfg.PowerClasses)
+		p.powerOpt = nn.NewAdam(cfg.LR)
+	}
+	return p, nil
+}
+
+// inputText assembles the model input for one job: the script, with the
+// input deck appended when IncludeDeck is set.
+func (p *Predictor) inputText(script, deck string) string {
+	if p.Config.IncludeDeck && deck != "" {
+		return script + "\n" + deck
+	}
+	return script
+}
+
+// buildModel constructs one classifier head for the configured
+// architecture.
+func (p *Predictor) buildModel(classes int) *nn.Sequential {
+	arch := nn.ArchConfig{
+		Rows:     p.Config.Rows,
+		Cols:     p.Config.Cols,
+		Channels: p.transform.Channels(),
+		Classes:  classes,
+		Width:    p.Config.Width,
+	}
+	switch p.Config.Model {
+	case ModelNN:
+		return nn.NewFullyConnected(p.rng, arch)
+	case Model1DCNN:
+		return nn.NewCNN1D(p.rng, arch)
+	default:
+		return nn.NewCNN2D(p.rng, arch)
+	}
+}
+
+// mapBatch transforms scripts into the model input layout. The NN and
+// 1D-CNN consume the flattened 1D sequence; the 2D-CNN consumes the 2D
+// matrix. Both views share the same underlying mapped buffer (§2.1).
+func (p *Predictor) mapBatch(scripts []string) *tensor.Tensor {
+	x := mapping.MapBatch(scripts, p.transform, p.Config.Rows, p.Config.Cols)
+	if p.Config.Model == Model1DCNN {
+		return x.Reshape(x.Dim(0), p.transform.Channels(), 1, p.Config.Rows*p.Config.Cols)
+	}
+	return x
+}
+
+// Train runs one warm-start training event on a window of completed jobs
+// (paper: the 500 most recently completed). It returns the final-epoch
+// mean loss of the runtime head.
+func (p *Predictor) Train(jobs []trace.Job) (float64, error) {
+	if len(jobs) == 0 {
+		return 0, fmt.Errorf("prionn: empty training window")
+	}
+	scripts := make([]string, len(jobs))
+	rt := make([]int, len(jobs))
+	rd := make([]int, len(jobs))
+	wr := make([]int, len(jobs))
+	pw := make([]int, len(jobs))
+	for i, j := range jobs {
+		scripts[i] = p.inputText(j.Script, j.InputDeck)
+		rt[i] = p.rbins.Class(j.ActualMin())
+		rd[i] = p.iobin.Class(float64(j.ReadBytes))
+		wr[i] = p.iobin.Class(float64(j.WriteBytes))
+		pw[i] = p.pbins.Class(j.AvgPowerW)
+	}
+	x := p.mapBatch(scripts)
+	epochs := p.Config.Epochs
+	if !p.trained {
+		// Bootstrap: the very first training event runs longer so the
+		// warm-start chain begins from a fitted model rather than random
+		// weights (subsequent events only need to track drift).
+		epochs *= 3
+	}
+	opts := nn.FitOptions{Epochs: epochs, BatchSize: p.Config.BatchSize, Shuffle: p.rng}
+	loss := p.runtime.Fit(x, rt, p.runtimeOpt, opts)
+	if p.Config.PredictIO {
+		p.read.Fit(x, rd, p.readOpt, opts)
+		p.write.Fit(x, wr, p.writeOpt, opts)
+	}
+	if p.Config.PredictPower {
+		p.power.Fit(x, pw, p.powerOpt, opts)
+	}
+	p.trained = true
+	return loss, nil
+}
+
+// Trained reports whether at least one training event has run.
+func (p *Predictor) Trained() bool { return p.trained }
+
+// Predict returns predictions for a batch of job scripts.
+func (p *Predictor) Predict(scripts []string) []Prediction {
+	if len(scripts) == 0 {
+		return nil
+	}
+	x := p.mapBatch(scripts)
+	rc := p.runtime.PredictClasses(x)
+	out := make([]Prediction, len(scripts))
+	for i := range out {
+		out[i].RuntimeMin = p.rbins.Minutes(rc[i])
+	}
+	if p.Config.PredictIO {
+		for i, c := range p.read.PredictClasses(x) {
+			out[i].ReadBytes = p.iobin.Bytes(c)
+		}
+		for i, c := range p.write.PredictClasses(x) {
+			out[i].WriteBytes = p.iobin.Bytes(c)
+		}
+	}
+	if p.Config.PredictPower {
+		for i, c := range p.power.PredictClasses(x) {
+			out[i].PowerW = p.pbins.Bytes(c)
+		}
+	}
+	return out
+}
+
+// PredictOne returns the prediction for a single job script.
+func (p *Predictor) PredictOne(script string) Prediction {
+	return p.Predict([]string{script})[0]
+}
+
+// PredictJobs predicts a batch of trace jobs, assembling each input from
+// the script plus (when IncludeDeck is set) the job's input deck.
+func (p *Predictor) PredictJobs(jobs []trace.Job) []Prediction {
+	texts := make([]string, len(jobs))
+	for i, j := range jobs {
+		texts[i] = p.inputText(j.Script, j.InputDeck)
+	}
+	return p.Predict(texts)
+}
+
+// PredictJob predicts a single trace job.
+func (p *Predictor) PredictJob(j trace.Job) Prediction {
+	return p.PredictJobs([]trace.Job{j})[0]
+}
+
+// NumParams returns the total trainable parameter count across heads.
+func (p *Predictor) NumParams() int {
+	n := p.runtime.NumParams()
+	if p.Config.PredictIO {
+		n += p.read.NumParams() + p.write.NumParams()
+	}
+	if p.Config.PredictPower {
+		n += p.power.NumParams()
+	}
+	return n
+}
+
+// Reinitialize rebuilds all model parameters from scratch (cold start).
+// The paper's loop never does this — it exists for the warm-vs-cold
+// ablation benchmark.
+func (p *Predictor) Reinitialize() {
+	p.runtime = p.buildModel(p.Config.RuntimeClasses)
+	p.runtimeOpt = nn.NewAdam(p.Config.LR)
+	if p.Config.PredictIO {
+		p.read = p.buildModel(p.Config.IOClasses)
+		p.write = p.buildModel(p.Config.IOClasses)
+		p.readOpt = nn.NewAdam(p.Config.LR)
+		p.writeOpt = nn.NewAdam(p.Config.LR)
+	}
+	if p.Config.PredictPower {
+		p.power = p.buildModel(p.Config.PowerClasses)
+		p.powerOpt = nn.NewAdam(p.Config.LR)
+	}
+	p.trained = false
+}

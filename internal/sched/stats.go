@@ -1,0 +1,69 @@
+package sched
+
+import "sort"
+
+// UtilStats summarizes how a simulated schedule used the machine.
+type UtilStats struct {
+	// Utilization is mean allocated-node-seconds divided by available
+	// node-seconds over the schedule's makespan.
+	Utilization float64
+	// MeanWaitSec and MaxWaitSec summarize queue waits (start - submit).
+	MeanWaitSec float64
+	MaxWaitSec  int64
+	// MakespanSec is last end minus first start.
+	MakespanSec int64
+	// PeakNodes is the maximum simultaneously allocated node count.
+	PeakNodes int
+}
+
+// ComputeUtilStats derives utilization statistics from placements on a
+// machine of the given size.
+func ComputeUtilStats(placements []Placement, machineNodes int) UtilStats {
+	var s UtilStats
+	if len(placements) == 0 || machineNodes <= 0 {
+		return s
+	}
+	type ev struct {
+		t     int64
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(placements))
+	var first, last int64
+	var busy float64 // node-seconds
+	var waitSum float64
+	for i, p := range placements {
+		if i == 0 || p.Start < first {
+			first = p.Start
+		}
+		if p.End > last {
+			last = p.End
+		}
+		busy += float64(p.Nodes) * float64(p.End-p.Start)
+		wait := p.Start - p.Submit
+		waitSum += float64(wait)
+		if wait > s.MaxWaitSec {
+			s.MaxWaitSec = wait
+		}
+		evs = append(evs, ev{p.Start, p.Nodes}, ev{p.End, -p.Nodes})
+	}
+	s.MakespanSec = last - first
+	s.MeanWaitSec = waitSum / float64(len(placements))
+	if s.MakespanSec > 0 {
+		s.Utilization = busy / (float64(machineNodes) * float64(s.MakespanSec))
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		// Frees before allocations at the same instant.
+		return evs[a].delta < evs[b].delta
+	})
+	cur := 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > s.PeakNodes {
+			s.PeakNodes = cur
+		}
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeUtilStatsKnown(t *testing.T) {
+	// Two jobs, 2-node machine: J1 uses 1 node for [0,100); J2 uses 2
+	// nodes for [100,200) after waiting 90s.
+	ps := []Placement{
+		{ID: 1, Submit: 0, Start: 0, End: 100, Nodes: 1},
+		{ID: 2, Submit: 10, Start: 100, End: 200, Nodes: 2},
+	}
+	s := ComputeUtilStats(ps, 2)
+	if s.MakespanSec != 200 {
+		t.Fatalf("makespan %d", s.MakespanSec)
+	}
+	// busy = 1*100 + 2*100 = 300; capacity = 2*200 = 400.
+	if math.Abs(s.Utilization-0.75) > 1e-9 {
+		t.Fatalf("utilization %v, want 0.75", s.Utilization)
+	}
+	if s.MaxWaitSec != 90 || math.Abs(s.MeanWaitSec-45) > 1e-9 {
+		t.Fatalf("wait stats %v/%v", s.MeanWaitSec, s.MaxWaitSec)
+	}
+	if s.PeakNodes != 2 {
+		t.Fatalf("peak %d", s.PeakNodes)
+	}
+}
+
+func TestComputeUtilStatsEmpty(t *testing.T) {
+	if s := ComputeUtilStats(nil, 4); s.Utilization != 0 {
+		t.Fatalf("empty stats %+v", s)
+	}
+}
+
+func TestUtilizationNeverExceedsOne(t *testing.T) {
+	// A valid schedule from the simulator can never exceed machine
+	// capacity, so utilization must stay in (0, 1].
+	s := NewSim(8)
+	for i := 0; i < 100; i++ {
+		s.Submit(Item{ID: i, Submit: int64(i * 3), Nodes: 1 + i%8, RuntimeSec: int64(20 + i%200)})
+	}
+	stats := ComputeUtilStats(s.Drain(), 8)
+	if stats.Utilization <= 0 || stats.Utilization > 1 {
+		t.Fatalf("utilization %v out of (0,1]", stats.Utilization)
+	}
+	if stats.PeakNodes > 8 {
+		t.Fatalf("peak %d exceeds machine", stats.PeakNodes)
+	}
+}

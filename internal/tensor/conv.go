@@ -1,0 +1,305 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes a 2D convolution: kernel extent, stride, and
+// symmetric zero padding. The same spec type is reused for pooling.
+type ConvSpec struct {
+	KH, KW int // kernel height and width
+	Stride int // stride in both dimensions (>= 1)
+	PadH   int // symmetric zero padding in the height dimension
+	PadW   int // symmetric zero padding in the width dimension
+}
+
+// OutDims returns the output height and width for an input of h×w.
+func (s ConvSpec) OutDims(h, w int) (oh, ow int) {
+	oh = (h+2*s.PadH-s.KH)/s.Stride + 1
+	ow = (w+2*s.PadW-s.KW)/s.Stride + 1
+	return oh, ow
+}
+
+// Validate checks the spec against an input of h×w and returns a
+// descriptive error for degenerate configurations.
+func (s ConvSpec) Validate(h, w int) error {
+	if s.KH <= 0 || s.KW <= 0 {
+		return fmt.Errorf("tensor: non-positive kernel %dx%d", s.KH, s.KW)
+	}
+	if s.Stride <= 0 {
+		return fmt.Errorf("tensor: non-positive stride %d", s.Stride)
+	}
+	if s.PadH < 0 || s.PadW < 0 {
+		return fmt.Errorf("tensor: negative padding %dx%d", s.PadH, s.PadW)
+	}
+	oh, ow := s.OutDims(h, w)
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("tensor: conv of %dx%d input with kernel %dx%d stride %d pad %dx%d yields empty output",
+			h, w, s.KH, s.KW, s.Stride, s.PadH, s.PadW)
+	}
+	return nil
+}
+
+// Im2Col expands one sample x [C,H,W] into a column matrix
+// [C*KH*KW, OH*OW] so a convolution becomes a single matrix multiply.
+// cols must be pre-shaped; it is overwritten.
+func Im2Col(cols, x *Tensor, c, h, w int, spec ConvSpec) {
+	oh, ow := spec.OutDims(h, w)
+	colW := oh * ow
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < spec.KH; ky++ {
+			for kx := 0; kx < spec.KW; kx++ {
+				dst := cols.Data[idx*colW : (idx+1)*colW]
+				di := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.Stride + ky - spec.PadH
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := base + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.Stride + kx - spec.PadW
+						if ix < 0 || ix >= w {
+							dst[di] = 0
+						} else {
+							dst[di] = x.Data[rowBase+ix]
+						}
+						di++
+					}
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column-matrix gradient [C*KH*KW, OH*OW] back into an
+// input-shaped gradient dx [C,H,W], accumulating overlapping windows.
+// dx must be zeroed by the caller if accumulation from a clean slate is
+// desired.
+func Col2Im(dx, cols *Tensor, c, h, w int, spec ConvSpec) {
+	oh, ow := spec.OutDims(h, w)
+	colW := oh * ow
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for ky := 0; ky < spec.KH; ky++ {
+			for kx := 0; kx < spec.KW; kx++ {
+				src := cols.Data[idx*colW : (idx+1)*colW]
+				si := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.Stride + ky - spec.PadH
+					if iy < 0 || iy >= h {
+						si += ow
+						continue
+					}
+					rowBase := base + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.Stride + kx - spec.PadW
+						if ix >= 0 && ix < w {
+							dx.Data[rowBase+ix] += src[si]
+						}
+						si++
+					}
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// Conv2DForward computes a batched 2D convolution.
+//
+//	x: [N, C, H, W], weights: [F, C*KH*KW], bias: [F] (may be nil)
+//	returns y: [N, F, OH, OW] and, when keepCols is true, the per-sample
+//	im2col matrices needed by the backward pass.
+//
+// Samples are processed in parallel across the worker pool; each worker
+// allocates its own scratch column matrix.
+func Conv2DForward(x, weights, bias *Tensor, c, h, w int, spec ConvSpec, keepCols bool) (y *Tensor, cols []*Tensor) {
+	n := x.Shape[0]
+	f := weights.Shape[0]
+	oh, ow := spec.OutDims(h, w)
+	y = New(n, f, oh, ow)
+	if keepCols {
+		cols = make([]*Tensor, n)
+	}
+	colRows := c * spec.KH * spec.KW
+	colW := oh * ow
+	ParallelFor(n, func(lo, hi int) {
+		scratch := New(colRows, colW)
+		for i := lo; i < hi; i++ {
+			cm := scratch
+			if keepCols {
+				cm = New(colRows, colW)
+				cols[i] = cm
+			}
+			xi := FromSlice(x.Data[i*c*h*w:(i+1)*c*h*w], c, h, w)
+			Im2Col(cm, xi, c, h, w, spec)
+			yi := FromSlice(y.Data[i*f*colW:(i+1)*f*colW], f, colW)
+			matmulInto(yi, weights, cm)
+			if bias != nil {
+				for fi := 0; fi < f; fi++ {
+					b := bias.Data[fi]
+					row := yi.Data[fi*colW : (fi+1)*colW]
+					for j := range row {
+						row[j] += b
+					}
+				}
+			}
+		}
+	})
+	return y, cols
+}
+
+// matmulInto is a serial matmul used inside already-parallel per-sample
+// loops (nested parallelism would oversubscribe the pool).
+func matmulInto(dst, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	dst.Zero()
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := dst.Data[i*n : (i+1)*n]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			axpy(av, b.Data[p*n:(p+1)*n], ci)
+		}
+	}
+}
+
+// Conv2DBackward computes gradients for a batched 2D convolution given the
+// upstream gradient dy [N, F, OH, OW] and the saved im2col matrices.
+// It accumulates into dW [F, C*KH*KW] and dB [F] (dB may be nil) and
+// returns dx [N, C, H, W].
+func Conv2DBackward(dy, weights *Tensor, cols []*Tensor, dW, dB *Tensor, c, h, w int, spec ConvSpec) (dx *Tensor) {
+	n := dy.Shape[0]
+	f := weights.Shape[0]
+	oh, ow := spec.OutDims(h, w)
+	colW := oh * ow
+	colRows := c * spec.KH * spec.KW
+	dx = New(n, c, h, w)
+
+	// dx is computed sample-parallel; dW/dB accumulation is done with
+	// per-worker partials merged at the end to avoid atomics in the hot
+	// loop.
+	workers := MaxWorkers()
+	partialW := make([]*Tensor, workers)
+	partialB := make([]*Tensor, workers)
+	slots := make(chan int, workers)
+	for i := 0; i < workers; i++ {
+		slots <- i
+	}
+	ParallelFor(n, func(lo, hi int) {
+		slot := <-slots
+		if partialW[slot] == nil {
+			partialW[slot] = New(f, colRows)
+			partialB[slot] = New(f)
+		}
+		pw, pb := partialW[slot], partialB[slot]
+		dcols := New(colRows, colW)
+		for i := lo; i < hi; i++ {
+			dyi := FromSlice(dy.Data[i*f*colW:(i+1)*f*colW], f, colW)
+			// dW += dy_i · cols_iᵀ
+			for fi := 0; fi < f; fi++ {
+				dyRow := dyi.Data[fi*colW : (fi+1)*colW]
+				pwRow := pw.Data[fi*colRows : (fi+1)*colRows]
+				for r := 0; r < colRows; r++ {
+					pwRow[r] += dot32(dyRow, cols[i].Data[r*colW:(r+1)*colW])
+				}
+				var bs float32
+				for _, v := range dyRow {
+					bs += v
+				}
+				pb.Data[fi] += bs
+			}
+			// dcols = Wᵀ · dy_i
+			dcols.Zero()
+			for fi := 0; fi < f; fi++ {
+				wRow := weights.Data[fi*colRows : (fi+1)*colRows]
+				dyRow := dyi.Data[fi*colW : (fi+1)*colW]
+				for r, wv := range wRow {
+					if wv == 0 {
+						continue
+					}
+					axpy(wv, dyRow, dcols.Data[r*colW:(r+1)*colW])
+				}
+			}
+			dxi := FromSlice(dx.Data[i*c*h*w:(i+1)*c*h*w], c, h, w)
+			Col2Im(dxi, dcols, c, h, w, spec)
+		}
+		slots <- slot
+	})
+	for i := 0; i < workers; i++ {
+		if partialW[i] != nil {
+			dW.Add(partialW[i])
+			if dB != nil {
+				dB.Add(partialB[i])
+			}
+		}
+	}
+	return dx
+}
+
+// MaxPool2DForward applies max pooling to x [N, C, H, W] with the given
+// window/stride spec (padding must be zero) and returns the pooled output
+// [N, C, OH, OW] plus the flat argmax indices used by the backward pass.
+func MaxPool2DForward(x *Tensor, c, h, w int, spec ConvSpec) (y *Tensor, argmax []int32) {
+	if spec.PadH != 0 || spec.PadW != 0 {
+		panic("tensor: MaxPool2DForward does not support padding")
+	}
+	n := x.Shape[0]
+	oh, ow := spec.OutDims(h, w)
+	y = New(n, c, oh, ow)
+	argmax = make([]int32, n*c*oh*ow)
+	ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for ch := 0; ch < c; ch++ {
+				inBase := (i*c + ch) * h * w
+				outBase := (i*c + ch) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						best := float32(0)
+						bestIdx := -1
+						for ky := 0; ky < spec.KH; ky++ {
+							iy := oy*spec.Stride + ky
+							if iy >= h {
+								break
+							}
+							for kx := 0; kx < spec.KW; kx++ {
+								ix := ox*spec.Stride + kx
+								if ix >= w {
+									break
+								}
+								idx := inBase + iy*w + ix
+								if bestIdx < 0 || x.Data[idx] > best {
+									best, bestIdx = x.Data[idx], idx
+								}
+							}
+						}
+						o := outBase + oy*ow + ox
+						y.Data[o] = best
+						argmax[o] = int32(bestIdx)
+					}
+				}
+			}
+		}
+	})
+	return y, argmax
+}
+
+// MaxPool2DBackward routes the upstream gradient dy through the argmax
+// indices recorded by the forward pass, returning dx with the input shape.
+func MaxPool2DBackward(dy *Tensor, argmax []int32, n, c, h, w int) *Tensor {
+	dx := New(n, c, h, w)
+	for i, g := range dy.Data {
+		dx.Data[argmax[i]] += g
+	}
+	return dx
+}

@@ -1,0 +1,198 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for rank-2 tensors A [m,k] and B [k,n], writing
+// into dst [m,n] (allocated if nil) and returning it. The kernel is
+// parallelized over row blocks of A and uses a cache-friendly ikj loop
+// order with an unrolled inner accumulation.
+func MatMul(dst, a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMul requires rank-2 operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	if dst == nil {
+		dst = New(m, n)
+	} else {
+		if dst.Shape[0] != m || dst.Shape[1] != n {
+			panic("tensor: MatMul dst shape mismatch")
+		}
+		dst.Zero()
+	}
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := dst.Data[i*n : (i+1)*n]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := b.Data[p*n : (p+1)*n]
+				axpy(av, bp, ci)
+			}
+		}
+	})
+	return dst
+}
+
+// axpy computes y += a*x over equal-length slices with 4-way unrolling.
+func axpy(a float32, x, y []float32) {
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B for A [k,m] and B [k,n] into dst [m,n].
+// It is the kernel used for weight gradients (xᵀ·dy) and avoids forming
+// the transpose explicitly.
+func MatMulTransA(dst, a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransA requires rank-2 operands")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	if dst == nil {
+		dst = New(m, n)
+	} else {
+		if dst.Shape[0] != m || dst.Shape[1] != n {
+			panic("tensor: MatMulTransA dst shape mismatch")
+		}
+		dst.Zero()
+	}
+	// Parallelize over rows of the output (columns of A). Each worker owns
+	// a disjoint slice of dst, so no synchronization is needed.
+	ParallelFor(m, func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			ap := a.Data[p*m : (p+1)*m]
+			bp := b.Data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := ap[i]
+				if av == 0 {
+					continue
+				}
+				axpy(av, bp, dst.Data[i*n:(i+1)*n])
+			}
+		}
+	})
+	return dst
+}
+
+// MatMulTransB computes C = A·Bᵀ for A [m,k] and B [n,k] into dst [m,n].
+// It is the kernel used for input gradients (dy·Wᵀ).
+func MatMulTransB(dst, a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransB requires rank-2 operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.Shape, b.Shape))
+	}
+	if dst == nil {
+		dst = New(m, n)
+	} else {
+		if dst.Shape[0] != m || dst.Shape[1] != n {
+			panic("tensor: MatMulTransB dst shape mismatch")
+		}
+	}
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := dst.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] = dot32(ai, b.Data[j*k:(j+1)*k])
+			}
+		}
+	})
+	return dst
+}
+
+// dot32 returns the float32 dot product of equal-length slices with 4-way
+// unrolling into independent accumulators.
+func dot32(x, y []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Transpose returns a new tensor holding the transpose of a rank-2 tensor.
+func (t *Tensor) Transpose() *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: Transpose requires a rank-2 tensor")
+	}
+	r, c := t.Shape[0], t.Shape[1]
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j*r+i] = v
+		}
+	}
+	return out
+}
+
+// AddRowVector adds vector v (length n) to every row of a rank-2 tensor
+// [m,n] in place and returns t. Used for bias addition.
+func (t *Tensor) AddRowVector(v *Tensor) *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: AddRowVector requires a rank-2 tensor")
+	}
+	n := t.Shape[1]
+	if len(v.Data) != n {
+		panic("tensor: AddRowVector length mismatch")
+	}
+	for i := 0; i < t.Shape[0]; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += v.Data[j]
+		}
+	}
+	return t
+}
+
+// SumRows accumulates the rows of a rank-2 tensor [m,n] into dst (length
+// n, allocated if nil) and returns dst. Used for bias gradients.
+func (t *Tensor) SumRows(dst *Tensor) *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: SumRows requires a rank-2 tensor")
+	}
+	n := t.Shape[1]
+	if dst == nil {
+		dst = New(n)
+	} else {
+		dst.Zero()
+	}
+	for i := 0; i < t.Shape[0]; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			dst.Data[j] += v
+		}
+	}
+	return dst
+}

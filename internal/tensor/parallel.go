@@ -1,0 +1,65 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps the size of worker pools spawned by ParallelFor. It
+// defaults to runtime.GOMAXPROCS(0) and exists so tests can exercise both
+// the serial and parallel paths deterministically.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers overrides the number of workers used by parallel kernels
+// and returns the previous value. n < 1 resets to runtime.GOMAXPROCS(0).
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return prev
+}
+
+// MaxWorkers returns the current worker-pool size.
+func MaxWorkers() int { return maxWorkers }
+
+// ParallelFor runs fn(lo, hi) over contiguous chunks covering [0, n),
+// splitting the range across the worker pool. When the pool has a single
+// worker (or n is small) the function runs inline, avoiding goroutine
+// overhead on tiny workloads.
+func ParallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	// Chunks below this size are not worth a goroutine each.
+	const minChunk = 64
+	if workers > 1 && n/workers < minChunk {
+		workers = n / minChunk
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

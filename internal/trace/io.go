@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SaveJSON writes a trace as a JSON array.
+func SaveJSON(w io.Writer, jobs []Job) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jobs)
+}
+
+// LoadJSON reads a trace written by SaveJSON (or by cmd/tracegen
+// -format json) and validates basic invariants.
+func LoadJSON(r io.Reader) ([]Job, error) {
+	var jobs []Job
+	if err := json.NewDecoder(r).Decode(&jobs); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	var prev int64
+	for i, j := range jobs {
+		if j.SubmitTime < prev {
+			return nil, fmt.Errorf("trace: job %d out of submission order", i)
+		}
+		prev = j.SubmitTime
+		if j.Nodes < 0 || j.ActualSec < 0 || j.RequestedMin < 0 {
+			return nil, fmt.Errorf("trace: job %d has negative resource fields", i)
+		}
+		if !j.Canceled && j.Script == "" {
+			return nil, fmt.Errorf("trace: job %d has an empty script", i)
+		}
+	}
+	return jobs, nil
+}
+
+// SaveJSONFile writes a trace to a file.
+func SaveJSONFile(path string, jobs []Job) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return SaveJSON(f, jobs)
+}
+
+// LoadJSONFile reads a trace from a file.
+func LoadJSONFile(path string) ([]Job, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadJSON(f)
+}
+
+// Stats summarizes a trace; it is what cmd/tracegen -format stats prints
+// and what tests assert against.
+type Stats struct {
+	Jobs          int
+	Completed     int
+	Canceled      int
+	UniqueScripts int
+	MeanRuntime   float64 // minutes, completed jobs
+	MedianRuntime float64
+	MaxRuntime    float64
+	MeanUserError float64 // |requested - actual| minutes
+	SpanSeconds   int64
+}
+
+// ComputeStats derives Stats from a trace.
+func ComputeStats(jobs []Job) Stats {
+	s := Stats{Jobs: len(jobs), UniqueScripts: UniqueScripts(jobs)}
+	var mins []float64
+	var errSum float64
+	for _, j := range jobs {
+		if j.Canceled {
+			s.Canceled++
+			continue
+		}
+		s.Completed++
+		m := float64(j.ActualMin())
+		mins = append(mins, m)
+		d := float64(j.RequestedMin) - m
+		if d < 0 {
+			d = -d
+		}
+		errSum += d
+	}
+	if len(mins) > 0 {
+		var sum float64
+		max := mins[0]
+		for _, m := range mins {
+			sum += m
+			if m > max {
+				max = m
+			}
+		}
+		s.MeanRuntime = sum / float64(len(mins))
+		s.MaxRuntime = max
+		s.MedianRuntime = medianOf(mins)
+		s.MeanUserError = errSum / float64(len(mins))
+	}
+	if len(jobs) > 1 {
+		s.SpanSeconds = jobs[len(jobs)-1].SubmitTime - jobs[0].SubmitTime
+	}
+	return s
+}
+
+// medianOf returns the median without mutating its input.
+func medianOf(vals []float64) float64 {
+	c := append([]float64(nil), vals...)
+	sort.Float64s(c)
+	return c[len(c)/2]
+}

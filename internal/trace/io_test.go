@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	jobs := Generate(Config{Seed: 15, Jobs: 50})
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("%d jobs after round trip, want %d", len(got), len(jobs))
+	}
+	for i := range jobs {
+		if got[i].Script != jobs[i].Script || got[i].ActualSec != jobs[i].ActualSec ||
+			got[i].ReadBytes != jobs[i].ReadBytes || got[i].InputDeck != jobs[i].InputDeck {
+			t.Fatalf("job %d differs after round trip", i)
+		}
+	}
+}
+
+func TestJSONFileRoundTrip(t *testing.T) {
+	jobs := Generate(Config{Seed: 16, Jobs: 20})
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := SaveJSONFile(path, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("%d jobs", len(got))
+	}
+}
+
+func TestLoadJSONRejectsGarbage(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadJSONValidatesOrder(t *testing.T) {
+	in := `[
+	 {"ID":0,"Script":"x","SubmitTime":100},
+	 {"ID":1,"Script":"y","SubmitTime":50}
+	]`
+	if _, err := LoadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+}
+
+func TestLoadJSONValidatesFields(t *testing.T) {
+	in := `[{"ID":0,"Script":"x","SubmitTime":1,"Nodes":-2}]`
+	if _, err := LoadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("negative nodes accepted")
+	}
+	in = `[{"ID":0,"Script":"","SubmitTime":1,"Canceled":false}]`
+	if _, err := LoadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("empty script accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	jobs := Generate(Config{Seed: 17, Jobs: 2000})
+	s := ComputeStats(jobs)
+	if s.Jobs != 2000 {
+		t.Fatalf("Jobs = %d", s.Jobs)
+	}
+	if s.Completed+s.Canceled != s.Jobs {
+		t.Fatal("completed + canceled != jobs")
+	}
+	if s.MeanRuntime <= 0 || s.MedianRuntime <= 0 || s.MaxRuntime < s.MeanRuntime {
+		t.Fatalf("runtime stats implausible: %+v", s)
+	}
+	if s.MeanUserError < 30 {
+		t.Fatalf("user error %f too small — overestimation missing", s.MeanUserError)
+	}
+	if s.UniqueScripts <= 0 || s.UniqueScripts > s.Jobs {
+		t.Fatalf("unique scripts %d", s.UniqueScripts)
+	}
+	if s.SpanSeconds <= 0 {
+		t.Fatal("no time span")
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(nil)
+	if s.Jobs != 0 || s.MeanRuntime != 0 {
+		t.Fatalf("empty stats %+v", s)
+	}
+}

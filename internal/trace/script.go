@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// nTemplates is the number of distinct script rendering styles. Multiple
+// styles reproduce the "inconsistencies in job script format" the paper
+// reports fighting when writing manual parsers.
+const nTemplates = 4
+
+// renderScript produces the SLURM batch script for one job configuration.
+// The numeric parameters that drive runtime and IO (problem size, step
+// count, node count, input deck) appear in the srun command line — text a
+// whole-script model can exploit but the Table-1 parser discards.
+func renderScript(app appProfile, user, account, jobName string, nodes, tasks, size, steps, reqMin int, deck string) string {
+	var b strings.Builder
+	b.WriteString("#!/bin/bash\n")
+	switch app.template {
+	case 0:
+		fmt.Fprintf(&b, "#SBATCH --job-name=%s\n", jobName)
+		fmt.Fprintf(&b, "#SBATCH --nodes=%d\n", nodes)
+		fmt.Fprintf(&b, "#SBATCH --ntasks=%d\n", tasks)
+		fmt.Fprintf(&b, "#SBATCH --time=%s\n", slurmTime(reqMin))
+		fmt.Fprintf(&b, "#SBATCH --account=%s\n", account)
+		b.WriteString("\nmodule load intel mvapich2\n")
+		fmt.Fprintf(&b, "cd /p/lustre1/%s/runs/%s\n\n", user, app.name)
+		fmt.Fprintf(&b, "srun -n %d %s -s %d -i %d -f %s\n", tasks, app.binary, size, steps, deck)
+		fmt.Fprintf(&b, "echo \"%s done\"\n", app.name)
+	case 1:
+		fmt.Fprintf(&b, "#SBATCH -J %s\n", jobName)
+		fmt.Fprintf(&b, "#SBATCH -N %d\n", nodes)
+		fmt.Fprintf(&b, "#SBATCH -n %d\n", tasks)
+		fmt.Fprintf(&b, "#SBATCH -t %d\n", reqMin)
+		fmt.Fprintf(&b, "#SBATCH -A %s\n", account)
+		b.WriteString("\nexport OMP_NUM_THREADS=1\n")
+		fmt.Fprintf(&b, "export DECK=%s\n", deck)
+		fmt.Fprintf(&b, "srun %s --size %d --steps %d --deck $DECK\n", app.binary, size, steps)
+	case 2:
+		fmt.Fprintf(&b, "# production run for %s\n", app.name)
+		fmt.Fprintf(&b, "#SBATCH --nodes %d\n", nodes)
+		fmt.Fprintf(&b, "#SBATCH --time %s\n", slurmTime(reqMin))
+		fmt.Fprintf(&b, "#SBATCH --job-name %s\n", jobName)
+		b.WriteString("set -e\nmodule purge\nmodule load gcc openmpi\n")
+		fmt.Fprintf(&b, "INPUT=%s\n", deck)
+		fmt.Fprintf(&b, "for rep in 1; do\n  srun -N %d %s -in $INPUT -x %d -nsteps %d\ndone\n",
+			nodes, app.binary, size, steps)
+		fmt.Fprintf(&b, "cp out.dat /p/lustre1/%s/results/\n", user)
+	default:
+		fmt.Fprintf(&b, "#MSUB -l nodes=%d\n", nodes)
+		fmt.Fprintf(&b, "#MSUB -l walltime=%s\n", slurmTime(reqMin))
+		fmt.Fprintf(&b, "#MSUB -N %s\n", jobName)
+		b.WriteString("\n. /etc/profile\n")
+		fmt.Fprintf(&b, "cd /p/lustre2/%s\n", user)
+		fmt.Fprintf(&b, "srun -n %d %s %s %d %d\n", tasks, app.binary, deck, size, steps)
+		b.WriteString("rc=$?\nexit $rc\n")
+	}
+	return b.String()
+}
+
+// slurmTime renders minutes as H:MM:SS.
+func slurmTime(minutes int) string {
+	return fmt.Sprintf("%d:%02d:00", minutes/60, minutes%60)
+}
+
+// renderDeck produces the application input deck a job reads. Deck
+// contents carry resource-relevant parameters (mesh extent, step count,
+// solver intensity) that never appear in Table-1 features — the signal
+// the paper's future work proposes exploiting.
+func renderDeck(app appProfile, size, steps int, intensity float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s input deck\n", app.name)
+	fmt.Fprintf(&b, "mesh_size = %d %d %d\n", size, size, size)
+	fmt.Fprintf(&b, "max_steps = %d\n", steps)
+	fmt.Fprintf(&b, "solver_intensity = %.3f\n", intensity)
+	fmt.Fprintf(&b, "checkpoint_every = %d\n", steps/10+1)
+	fmt.Fprintf(&b, "output_dir = ./out_%s_s%d\n", app.name, size)
+	return b.String()
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"prionn/internal/features"
+)
+
+func genTest(n int) []Job {
+	return Generate(Config{Seed: 7, Jobs: n})
+}
+
+func TestGenerateCount(t *testing.T) {
+	jobs := genTest(500)
+	if len(jobs) != 500 {
+		t.Fatalf("generated %d jobs, want 500", len(jobs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 3, Jobs: 50})
+	b := Generate(Config{Seed: 3, Jobs: 50})
+	for i := range a {
+		if a[i].Script != b[i].Script || a[i].ActualSec != b[i].ActualSec ||
+			a[i].SubmitTime != b[i].SubmitTime {
+			t.Fatalf("job %d differs between same-seed generations", i)
+		}
+	}
+}
+
+func TestSubmitTimesMonotonic(t *testing.T) {
+	jobs := genTest(1000)
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].SubmitTime < jobs[i-1].SubmitTime {
+			t.Fatalf("submit times not monotone at %d", i)
+		}
+	}
+}
+
+func TestRuntimeDistributionMatchesPaper(t *testing.T) {
+	// Paper Fig. 8a: ~half the jobs below 60 minutes, mean ≈ 44 min,
+	// nothing above the 960-minute cap. We accept generous bands.
+	jobs := Completed(genTest(5000))
+	var under60, total int
+	var sum float64
+	for _, j := range jobs {
+		m := j.ActualMin()
+		if m > 960 {
+			t.Fatalf("job runtime %d min exceeds 960 cap", m)
+		}
+		if m < 60 {
+			under60++
+		}
+		sum += float64(m)
+		total++
+	}
+	frac := float64(under60) / float64(total)
+	mean := sum / float64(total)
+	if frac < 0.45 || frac > 0.85 {
+		t.Fatalf("fraction under 60 min = %.2f, want roughly half or more", frac)
+	}
+	if mean < 25 || mean > 90 {
+		t.Fatalf("mean runtime %.1f min, want ≈ 44", mean)
+	}
+}
+
+func TestUserOverestimation(t *testing.T) {
+	// Paper: user estimates have ≈ 24% mean relative accuracy and a mean
+	// error around 172 minutes. Requested must almost always be >= actual
+	// (SLURM kills at the limit) and heavily inflated on average.
+	jobs := Completed(genTest(4000))
+	var errSum float64
+	var relAccSum float64
+	for _, j := range jobs {
+		if j.RequestedMin*60 < int(j.ActualSec)-60 {
+			t.Fatalf("job %d ran %ds past its %dmin request", j.ID, j.ActualSec, j.RequestedMin)
+		}
+		e := float64(j.RequestedMin - j.ActualMin())
+		errSum += math.Abs(e)
+		a, p := float64(j.ActualMin()), float64(j.RequestedMin)
+		relAccSum += 1 - math.Abs(a-p)/(math.Max(a, p)+1e-12)
+	}
+	meanErr := errSum / float64(len(jobs))
+	meanAcc := relAccSum / float64(len(jobs))
+	if meanErr < 60 || meanErr > 400 {
+		t.Fatalf("mean user estimate error %.0f min, want ≈ 172", meanErr)
+	}
+	if meanAcc > 0.5 {
+		t.Fatalf("user relative accuracy %.2f, want ≈ 0.24 (heavy overestimation)", meanAcc)
+	}
+}
+
+func TestIOHeavyTail(t *testing.T) {
+	// Paper Fig. 9a: mean bandwidth orders of magnitude above the median.
+	jobs := Completed(genTest(5000))
+	bws := make([]float64, 0, len(jobs))
+	var sum float64
+	for _, j := range jobs {
+		bw := j.ReadBW()
+		bws = append(bws, bw)
+		sum += bw
+	}
+	sort.Float64s(bws)
+	mean := sum / float64(len(bws))
+	median := bws[len(bws)/2]
+	if mean < 5*median {
+		t.Fatalf("read BW mean/median = %.1f, want heavy tail (> 5x)", mean/median)
+	}
+}
+
+func TestCanceledFraction(t *testing.T) {
+	jobs := genTest(5000)
+	canceled := 0
+	for _, j := range jobs {
+		if j.Canceled {
+			canceled++
+			if j.ActualSec != 0 || j.ReadBytes != 0 {
+				t.Fatal("canceled job has execution data")
+			}
+		}
+	}
+	frac := float64(canceled) / float64(len(jobs))
+	if frac < 0.05 || frac > 0.15 {
+		t.Fatalf("canceled fraction %.3f, want ≈ 0.10", frac)
+	}
+	if got := len(Completed(jobs)); got != len(jobs)-canceled {
+		t.Fatalf("Completed kept %d, want %d", got, len(jobs)-canceled)
+	}
+}
+
+func TestUniqueScriptRatio(t *testing.T) {
+	// Paper: 111,596 unique of 295,077 (≈ 38%) pre-filter. Accept a broad
+	// band; the essential property is heavy script repetition.
+	jobs := genTest(20000)
+	u := UniqueScripts(jobs)
+	ratio := float64(u) / float64(len(jobs))
+	if ratio > 0.6 {
+		t.Fatalf("unique ratio %.2f — not enough repeat submissions", ratio)
+	}
+	if u < 50 {
+		t.Fatalf("only %d unique scripts — population too small", u)
+	}
+}
+
+func TestScriptsParseable(t *testing.T) {
+	// Every generated script must yield nodes and requested time through
+	// the Table-1 extractor (all template styles).
+	jobs := genTest(400)
+	for _, j := range jobs {
+		s := features.Extract(features.RawJob{Script: j.Script, User: j.User})
+		if s.ReqNodes <= 0 {
+			t.Fatalf("script for job %d yields no node count:\n%s", j.ID, j.Script)
+		}
+		if s.ReqTimeHours <= 0 {
+			t.Fatalf("script for job %d yields no requested time:\n%s", j.ID, j.Script)
+		}
+		if math.Abs(s.ReqTimeHours*60-float64(j.RequestedMin)) > 1 {
+			t.Fatalf("parsed %.0f min, job says %d min", s.ReqTimeHours*60, j.RequestedMin)
+		}
+	}
+}
+
+func TestScriptEmbedsParameters(t *testing.T) {
+	// The script text must contain the binary name and the deck path —
+	// the signal PRIONN learns from.
+	jobs := genTest(100)
+	for _, j := range jobs {
+		if !strings.Contains(j.Script, ".exe") {
+			t.Fatalf("script missing binary:\n%s", j.Script)
+		}
+		if !strings.Contains(j.Script, "/p/lustre") {
+			t.Fatalf("script missing filesystem paths:\n%s", j.Script)
+		}
+	}
+}
+
+func TestRepeatSubmissionsShareGroundTruthScale(t *testing.T) {
+	// Jobs sharing a ScriptID are resubmissions of the same configuration
+	// and must have runtimes within the ±5% noise plus limit-capping.
+	jobs := Completed(genTest(10000))
+	byScript := map[int][]Job{}
+	for _, j := range jobs {
+		byScript[j.ScriptID] = append(byScript[j.ScriptID], j)
+	}
+	checked := 0
+	for _, group := range byScript {
+		if len(group) < 3 {
+			continue
+		}
+		lo, hi := group[0].ActualSec, group[0].ActualSec
+		for _, j := range group {
+			if j.ActualSec < lo {
+				lo = j.ActualSec
+			}
+			if j.ActualSec > hi {
+				hi = j.ActualSec
+			}
+		}
+		if float64(hi) > float64(lo)*1.6+120 {
+			t.Fatalf("script %d runtimes spread %d..%d sec — repeats should be consistent",
+				group[0].ScriptID, lo, hi)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d scripts had 3+ repeats — repetition too low", checked)
+	}
+}
+
+func TestSDSCPresets(t *testing.T) {
+	// SDSC traces: longer runtimes than Cab.
+	cab := Completed(Generate(Config{Seed: 1, Jobs: 2000}))
+	sdsc := Completed(Generate(SDSC95Config(2000)))
+	meanOf := func(jobs []Job) float64 {
+		var s float64
+		for _, j := range jobs {
+			s += float64(j.ActualMin())
+		}
+		return s / float64(len(jobs))
+	}
+	if meanOf(sdsc) < 2*meanOf(cab) {
+		t.Fatalf("SDSC mean runtime %.0f not well above Cab %.0f", meanOf(sdsc), meanOf(cab))
+	}
+	if got := Generate(SDSC96Config(100)); len(got) != 100 {
+		t.Fatalf("SDSC96 generated %d", len(got))
+	}
+}
+
+func TestActualMinRounding(t *testing.T) {
+	j := Job{ActualSec: 89}
+	if j.ActualMin() != 1 {
+		t.Fatalf("89s = %d min, want 1", j.ActualMin())
+	}
+	j.ActualSec = 91
+	if j.ActualMin() != 2 {
+		t.Fatalf("91s = %d min, want 2", j.ActualMin())
+	}
+}
+
+func TestBandwidthZeroForCanceled(t *testing.T) {
+	j := Job{Canceled: true}
+	if j.ReadBW() != 0 || j.WriteBW() != 0 {
+		t.Fatal("canceled job must report zero bandwidth")
+	}
+}
+
+func TestGeneratorStreaming(t *testing.T) {
+	g := NewGenerator(Config{Seed: 11, Jobs: 10})
+	prev := int64(0)
+	ids := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		j := g.Next()
+		if j.SubmitTime < prev {
+			t.Fatal("streamed jobs out of order")
+		}
+		prev = j.SubmitTime
+		if ids[j.ID] {
+			t.Fatalf("duplicate job ID %d", j.ID)
+		}
+		ids[j.ID] = true
+	}
+}
