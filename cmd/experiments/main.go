@@ -69,16 +69,19 @@ func main() {
 	}
 
 	var w io.Writer = os.Stdout
+	closeOut := func() error { return nil }
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		closeOut = f.Close
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	fmt.Fprintf(w, "PRIONN experiment harness — %d jobs, scale %s, seed %d\n\n", *jobs, *scale, *seed)
+	if _, err := fmt.Fprintf(w, "PRIONN experiment harness — %d jobs, scale %s, seed %d\n\n", *jobs, *scale, *seed); err != nil {
+		log.Fatal(err)
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
@@ -90,5 +93,10 @@ func main() {
 		if _, err := res.WriteTo(w); err != nil {
 			log.Fatal(err)
 		}
+	}
+	// Close reports buffered-write failures; losing the report file
+	// silently would defeat the point of -o.
+	if err := closeOut(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,190 @@
+// Command prionnvet is the repo's static-analysis gate: a stdlib-only
+// vet pass (go/ast + go/types, no external deps) over the bug classes
+// that silently break the paper's reproducibility — unseeded
+// randomness, exact float comparison, dropped IO errors, unjoined
+// goroutines, loop-variable captures, and unsynchronized package state.
+//
+// Usage:
+//
+//	go run ./cmd/prionnvet [-json] [-checks a,b] [patterns...]
+//
+// Patterns are package directories or the ./... form (the default).
+// Findings are suppressed at the site with
+//
+//	//prionnvet:ignore <check>[,<check>...] <justification>
+//
+// on the flagged line or the line above it. Exit status: 0 clean,
+// 1 findings, 2 usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prionn/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("prionnvet", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list available checks and exit")
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, c := range analysis.All() {
+			fmt.Fprintf(os.Stdout, "%-18s %s\n", c.Name(), c.Doc())
+		}
+		return 0
+	}
+
+	checkers := analysis.All()
+	if *checksFlag != "" {
+		checkers = nil
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			c := analysis.ByName(name)
+			if c == nil {
+				fmt.Fprintf(os.Stderr, "prionnvet: unknown check %q (see -list)\n", name)
+				return 2
+			}
+			checkers = append(checkers, c)
+		}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prionnvet: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prionnvet: %v\n", err)
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prionnvet: %v\n", err)
+		return 2
+	}
+
+	var findings []analysis.Finding
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prionnvet: %v\n", err)
+			return 2
+		}
+		findings = append(findings, analysis.RunAll(pkg.Pass(loader.Fset), checkers)...)
+	}
+
+	// Report paths relative to the module root for stable, clickable
+	// output regardless of where the tool was invoked.
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "prionnvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "prionnvet: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns turns CLI patterns into package directories, resolved
+// against the working directory as the go tool does. "dir/..."
+// recurses; a plain path must itself contain Go files.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(ds ...string) {
+		for _, d := range ds {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			recursive = true
+			pat = "."
+		} else if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "" {
+			pat = "."
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if recursive {
+			ds, err := analysis.PackageDirs(abs, nil)
+			if err != nil {
+				return nil, err
+			}
+			add(ds...)
+		} else {
+			add(abs)
+		}
+	}
+	return dirs, nil
+}

@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 
 	"prionn/internal/metrics"
 	"prionn/internal/trace"
@@ -50,18 +51,21 @@ func main() {
 	all := trace.Generate(cfg)
 
 	var w io.Writer = os.Stdout
+	closeOut := func() error { return nil }
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		closeOut = f.Close
 		w = f
 	}
 
 	switch *format {
 	case "stats":
-		printStats(w, all)
+		if err := printStats(w, all); err != nil {
+			log.Fatal(err)
+		}
 	case "json":
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -74,15 +78,24 @@ func main() {
 		}
 	case "scripts":
 		for _, j := range all {
-			fmt.Fprintf(w, "### job %d (user %s, %d min actual, %d min requested)\n%s\n",
-				j.ID, j.User, j.ActualMin(), j.RequestedMin, j.Script)
+			if _, err := fmt.Fprintf(w, "### job %d (user %s, %d min actual, %d min requested)\n%s\n",
+				j.ID, j.User, j.ActualMin(), j.RequestedMin, j.Script); err != nil {
+				log.Fatal(err)
+			}
 		}
 	default:
 		log.Fatalf("unknown format %q", *format)
 	}
+	// A trace file truncated by a failed close would silently skew every
+	// downstream experiment; report it.
+	if err := closeOut(); err != nil {
+		log.Fatal(err)
+	}
 }
 
-func printStats(w io.Writer, all []trace.Job) {
+// printStats renders the summary into memory and writes it once, so a
+// single error check covers the whole report.
+func printStats(w io.Writer, all []trace.Job) error {
 	completed := trace.Completed(all)
 	var mins, reqErr, rbw, wbw []float64
 	for _, j := range completed {
@@ -95,11 +108,12 @@ func printStats(w io.Writer, all []trace.Job) {
 	rs := metrics.Summarize(rbw)
 	ws := metrics.Summarize(wbw)
 
-	fmt.Fprintf(w, "jobs:            %d (%d completed, %d canceled)\n",
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs:            %d (%d completed, %d canceled)\n",
 		len(all), len(completed), len(all)-len(completed))
-	fmt.Fprintf(w, "unique scripts:  %d (%.1f%%)\n",
+	fmt.Fprintf(&b, "unique scripts:  %d (%.1f%%)\n",
 		trace.UniqueScripts(all), 100*float64(trace.UniqueScripts(all))/float64(len(all)))
-	fmt.Fprintf(w, "runtime (min):   mean %.1f  median %.1f  p95 %.1f  max %.0f\n",
+	fmt.Fprintf(&b, "runtime (min):   mean %.1f  median %.1f  p95 %.1f  max %.0f\n",
 		ms.Mean, ms.Median, ms.P95, ms.Max)
 	sort.Float64s(reqErr)
 	var errSum float64
@@ -109,15 +123,17 @@ func printStats(w io.Writer, all []trace.Job) {
 		}
 		errSum += e
 	}
-	fmt.Fprintf(w, "user estimate:   mean abs error %.0f min (paper: 172)\n", errSum/float64(len(reqErr)))
-	fmt.Fprintf(w, "read BW (B/s):   mean %.2e  median %.2e  (mean/median %.0fx)\n",
+	fmt.Fprintf(&b, "user estimate:   mean abs error %.0f min (paper: 172)\n", errSum/float64(len(reqErr)))
+	fmt.Fprintf(&b, "read BW (B/s):   mean %.2e  median %.2e  (mean/median %.0fx)\n",
 		rs.Mean, rs.Median, rs.Mean/maxf(rs.Median, 1))
-	fmt.Fprintf(w, "write BW (B/s):  mean %.2e  median %.2e  (mean/median %.0fx)\n",
+	fmt.Fprintf(&b, "write BW (B/s):  mean %.2e  median %.2e  (mean/median %.0fx)\n",
 		ws.Mean, ws.Median, ws.Mean/maxf(ws.Median, 1))
 	if len(all) > 0 {
 		span := all[len(all)-1].SubmitTime - all[0].SubmitTime
-		fmt.Fprintf(w, "trace span:      %.1f days\n", float64(span)/86400)
+		fmt.Fprintf(&b, "trace span:      %.1f days\n", float64(span)/86400)
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 func maxf(a, b float64) float64 {
@@ -129,7 +145,6 @@ func maxf(a, b float64) float64 {
 
 func writeCSV(w io.Writer, all []trace.Job) error {
 	cw := csv.NewWriter(w)
-	defer cw.Flush()
 	if err := cw.Write([]string{
 		"id", "user", "group", "account", "script_id", "submit", "nodes", "tasks",
 		"requested_min", "actual_sec", "read_bytes", "write_bytes", "canceled",
@@ -146,5 +161,8 @@ func writeCSV(w io.Writer, all []trace.Job) error {
 			return err
 		}
 	}
-	return nil
+	// Flush buffers through to w; csv.Writer surfaces the error via
+	// Error(), which a deferred Flush would have dropped.
+	cw.Flush()
+	return cw.Error()
 }

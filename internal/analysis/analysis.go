@@ -1,0 +1,221 @@
+// Package analysis implements prionnvet, a stdlib-only static-analysis
+// pass for the PRIONN reproduction. The paper's results hinge on seeded,
+// numerically reproducible runs (§4's Cab tables are per-seed), so the
+// checkers target the bug classes that silently break reproducibility in
+// a Go codebase with hand-rolled parallel kernels: unseeded randomness,
+// exact float comparison, dropped errors on persist/IO paths, unjoined
+// goroutines, and unsynchronized package-level state.
+//
+// Checkers are pure go/ast + go/types passes (no external deps, matching
+// go.mod). Findings can be suppressed at the site with a justification:
+//
+//	//prionnvet:ignore <check>[,<check>...] <reason>
+//
+// The comment silences the named checks (or "all") on its own line and
+// on the line directly below it, so it works both as a trailing comment
+// and as a standalone line above the flagged statement.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a checker.
+type Finding struct {
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+}
+
+// String renders a finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Pass bundles everything a checker needs about one type-checked package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+func (p *Pass) finding(check string, pos token.Pos, format string, args ...any) Finding {
+	position := p.Fset.Position(pos)
+	return Finding{
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+	}
+}
+
+// Checker is one analysis pass.
+type Checker interface {
+	// Name is the kebab-case identifier used in reports and in
+	// //prionnvet:ignore comments.
+	Name() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	Run(p *Pass) []Finding
+}
+
+// All returns every registered checker in stable order.
+func All() []Checker {
+	return []Checker{
+		UnseededRand{},
+		FloatEq{},
+		UncheckedErr{},
+		NakedGoroutine{},
+		LoopCapture{},
+		MutablePkgVar{},
+	}
+}
+
+// ByName returns the checker with the given name, or nil.
+func ByName(name string) Checker {
+	for _, c := range All() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// RunAll runs the given checkers over a pass, drops suppressed findings,
+// and returns the rest sorted by position. A nil checkers slice means
+// All().
+func RunAll(p *Pass, checkers []Checker) []Finding {
+	if checkers == nil {
+		checkers = All()
+	}
+	sup := collectSuppressions(p)
+	var out []Finding
+	for _, c := range checkers {
+		for _, f := range c.Run(p) {
+			if sup.suppressed(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// ignorePrefix is the suppression marker. The directive form is
+// "//prionnvet:ignore check1,check2 reason..." with no space before
+// "prionnvet" (matching the //go: directive convention).
+const ignorePrefix = "prionnvet:ignore"
+
+// suppressions maps file -> line -> set of suppressed check names.
+// The special name "all" suppresses every check.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppressed(f Finding) bool {
+	lines := s[f.File]
+	if lines == nil {
+		return false
+	}
+	// A directive covers its own line (trailing comment) and the next
+	// line (standalone comment above the statement).
+	for _, line := range []int{f.Line, f.Line - 1} {
+		checks := lines[line]
+		if checks == nil {
+			continue
+		}
+		if checks["all"] || checks[f.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+func collectSuppressions(p *Pass) suppressions {
+	sup := suppressions{}
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					// Bare ignore with no check list: treat as "all" so a
+					// malformed directive fails loudly in review, not
+					// silently.
+					fields = []string{"all"}
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				checks := lines[pos.Line]
+				if checks == nil {
+					checks = map[string]bool{}
+					lines[pos.Line] = checks
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						checks[name] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// pkgNameOf resolves an identifier to the imported package it names, or
+// nil. Used by checkers to recognize qualified references like rand.Intn
+// regardless of import aliasing.
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.PkgName {
+	if obj, ok := info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn
+		}
+	}
+	return nil
+}
+
+// qualifiedCall reports the package path and function name of a call to
+// a package-level function (e.g. "math/rand", "Intn"), or ok=false.
+func qualifiedCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pn := pkgNameOf(info, id)
+	if pn == nil {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point operands. Exact float
+// comparison silently diverges across refactors that reassociate
+// arithmetic (e.g. the parallel matmul kernels), which corrupts the
+// accuracy tables the paper reports. Comparisons belong in the approved
+// tolerance helpers of internal/metrics (ApproxEqual / ApproxEqualRel),
+// which are exempt, as is the x != x NaN idiom.
+type FloatEq struct{}
+
+func (FloatEq) Name() string { return "float-eq" }
+func (FloatEq) Doc() string {
+	return "flags ==/!= on float operands outside internal/metrics tolerance helpers"
+}
+
+// floatEqExemptPkgs hold the approved tolerance helpers; comparisons
+// there are the implementation of the sanctioned API.
+func floatEqExempt(pkgPath string) bool {
+	return pkgPath == "prionn/internal/metrics" || strings.HasSuffix(pkgPath, "/internal/metrics")
+}
+
+func (c FloatEq) Run(p *Pass) []Finding {
+	if p.Pkg != nil && floatEqExempt(p.Pkg.Path()) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info.TypeOf(be.X)) && !isFloat(p.Info.TypeOf(be.Y)) {
+				return true
+			}
+			// x != x is the standard NaN probe; keep it.
+			if be.Op == token.NEQ && sameIdent(be.X, be.Y) {
+				return true
+			}
+			out = append(out, p.finding(c.Name(), be.Pos(),
+				"%s compares floats exactly; use metrics.ApproxEqual (or a documented tolerance) instead", be.Op))
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func sameIdent(a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	return aok && bok && ai.Name == bi.Name
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LoopCapture flags goroutine and defer closures that capture a loop
+// variable by reference instead of receiving it as an argument. Go 1.22
+// made loop variables per-iteration, but the repo's parallel kernels
+// pass bounds explicitly (see tensor.ParallelFor) so intent is visible
+// at the launch site and the code stays correct if ever built with an
+// older toolchain or copied into one. It also flags the now-redundant
+// `x := x` shadow idiom inside loop bodies, which reads as load-bearing
+// but no longer is.
+type LoopCapture struct{}
+
+func (LoopCapture) Name() string { return "loopvar-capture" }
+func (LoopCapture) Doc() string {
+	return "flags go/defer closures capturing loop variables and redundant x := x shadows"
+}
+
+func (c LoopCapture) Run(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			vars := map[types.Object]bool{}
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				body = loop.Body
+				for _, e := range []ast.Expr{loop.Key, loop.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := p.Info.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+			case *ast.ForStmt:
+				body = loop.Body
+				if init, ok := loop.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, e := range init.Lhs {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := p.Info.Defs[id]; obj != nil {
+								vars[obj] = true
+							}
+						}
+					}
+				}
+			default:
+				return true
+			}
+			if len(vars) == 0 {
+				return true
+			}
+			out = append(out, c.checkBody(p, body, vars)...)
+			return true
+		})
+	}
+	return out
+}
+
+func (c LoopCapture) checkBody(p *Pass, body *ast.BlockStmt, vars map[types.Object]bool) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				for _, name := range capturedLoopVars(p, lit, vars) {
+					out = append(out, p.finding(c.Name(), s.Pos(),
+						"goroutine closure captures loop variable %s; pass it as an argument so the iteration binding is explicit", name))
+				}
+			}
+		case *ast.DeferStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				for _, name := range capturedLoopVars(p, lit, vars) {
+					out = append(out, p.finding(c.Name(), s.Pos(),
+						"deferred closure captures loop variable %s; defers run after the loop ends — pass the value as an argument", name))
+				}
+			}
+		case *ast.AssignStmt:
+			// The pre-1.22 `x := x` shadow idiom: flag when a loop var is
+			// redeclared from itself directly in the loop body.
+			if s.Tok == token.DEFINE && len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					l, lok := s.Lhs[i].(*ast.Ident)
+					r, rok := s.Rhs[i].(*ast.Ident)
+					if lok && rok && l.Name == r.Name {
+						if obj := p.Info.Uses[r]; obj != nil && vars[obj] {
+							out = append(out, p.finding(c.Name(), s.Pos(),
+								"%s := %s shadows a per-iteration loop variable; redundant since Go 1.22", l.Name, r.Name))
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedLoopVars returns the names of loop variables from vars that
+// the function literal references without redeclaring.
+func capturedLoopVars(p *Pass, lit *ast.FuncLit, vars map[types.Object]bool) []string {
+	seen := map[string]bool{}
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := p.Info.Uses[id]; obj != nil && vars[obj] && !seen[id.Name] {
+			seen[id.Name] = true
+			names = append(names, id.Name)
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NakedGoroutine flags `go` statements in functions with no visible
+// join: no sync.WaitGroup Wait, no channel receive, no select. A fire-
+// and-forget goroutine in the tensor/sched parallel paths can outlive
+// the kernel that spawned it and race the next operation on the same
+// buffers; every launch must be paired with a join in the same function
+// (as ParallelFor does) or carry a justified suppression.
+//
+// The join detection is a function-scoped heuristic: evidence anywhere
+// in the innermost enclosing function body counts for every goroutine
+// launched there.
+type NakedGoroutine struct{}
+
+func (NakedGoroutine) Name() string { return "naked-goroutine" }
+func (NakedGoroutine) Doc() string {
+	return "flags go statements with no WaitGroup/channel join in the same function"
+}
+
+func (c NakedGoroutine) Run(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			joined := hasJoin(p, body)
+			for _, g := range directGoStmts(body) {
+				if !joined {
+					out = append(out, p.finding(c.Name(), g.Pos(),
+						"goroutine has no join (WaitGroup Wait, channel receive, or select) in the enclosing function"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// directGoStmts returns the go statements whose innermost enclosing
+// function is the one owning body (i.e. not those inside nested
+// function literals, which are attributed to the literal).
+func directGoStmts(body *ast.BlockStmt) []*ast.GoStmt {
+	var gos []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // its go statements belong to the literal
+		case *ast.GoStmt:
+			gos = append(gos, s)
+			// Still descend into the launched call's arguments, but the
+			// launched FuncLit itself is cut off above.
+		}
+		return true
+	})
+	return gos
+}
+
+// hasJoin reports whether body contains any plausible join point: a
+// .Wait() call, a channel receive, a range over a channel, or a select.
+func hasJoin(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if isChanType(p, e.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanType(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutablePkgVar flags writes to package-level variables outside init,
+// unless the enclosing function visibly acquires a lock. Writable
+// package state reachable from exported APIs (the old tensor.maxWorkers
+// was the canonical case) is a data race the moment two goroutines use
+// the package, and races in the worker-pool configuration corrupt the
+// determinism the paper's tables depend on.
+//
+// Exemptions:
+//   - writes inside func init (single-goroutine by the language spec);
+//   - vars whose type lives in sync or sync/atomic (mutexes and atomics
+//     are the remedies, not the disease);
+//   - writes inside functions that call .Lock()/.RLock() somewhere —
+//     a coarse but effective "this function knows about locking" signal.
+//
+// Anything else needs a redesign (atomics, mutex, or constructor-scoped
+// state) or a justified suppression.
+type MutablePkgVar struct{}
+
+func (MutablePkgVar) Name() string { return "mutable-pkg-var" }
+func (MutablePkgVar) Doc() string {
+	return "flags unsynchronized writes to package-level variables outside init"
+}
+
+func (c MutablePkgVar) Run(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name == "init" && fn.Recv == nil {
+				continue
+			}
+			locked := acquiresLock(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						if name, obj := writtenPkgVar(p, lhs); obj != nil && !locked {
+							out = append(out, p.finding(c.Name(), lhs.Pos(),
+								"%s writes package-level var %s without synchronization; use sync/atomic, a mutex, or move the state into a struct", fn.Name.Name, name))
+						}
+					}
+				case *ast.IncDecStmt:
+					if name, obj := writtenPkgVar(p, s.X); obj != nil && !locked {
+						out = append(out, p.finding(c.Name(), s.Pos(),
+							"%s writes package-level var %s without synchronization; use sync/atomic, a mutex, or move the state into a struct", fn.Name.Name, name))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// writtenPkgVar resolves an assignment target to a mutable package-level
+// variable of the package under analysis: a direct assignment to the var,
+// or an element/field write through it (m[k] = v mutates shared state
+// just as surely as m = v). Vars of sync/atomic types are exempt.
+func writtenPkgVar(p *Pass, lhs ast.Expr) (string, types.Object) {
+	// Unwrap element and field writes down to the base identifier.
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.SelectorExpr:
+			lhs = e.X
+			continue
+		case *ast.StarExpr:
+			// Writing through a dereferenced pointer: the pointee is not
+			// necessarily the package var itself.
+			return "", nil
+		}
+		break
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return "", nil
+	}
+	obj := p.Info.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() != p.Pkg {
+		return "", nil
+	}
+	if p.Pkg.Scope().Lookup(id.Name) != obj {
+		return "", nil // local, parameter, or field — not package scope
+	}
+	if isSyncType(v.Type()) {
+		return "", nil
+	}
+	return id.Name, obj
+}
+
+// isSyncType reports whether t is (or points to) a type defined in sync
+// or sync/atomic.
+func isSyncType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "sync" || pkg.Path() == "sync/atomic"
+}
+
+// acquiresLock reports whether the body calls a Lock/RLock method
+// anywhere — the heuristic signal that writes in this function are
+// mutex-guarded.
+func acquiresLock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

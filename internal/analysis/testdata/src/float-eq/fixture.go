@@ -1,0 +1,31 @@
+package fixture
+
+type celsius float64
+
+func eq64(a, b float64) bool {
+	return a == b // want "compares floats exactly"
+}
+
+func neq32(a, b float32) bool {
+	return a != b // want "compares floats exactly"
+}
+
+func named(a, b celsius) bool {
+	return a == b // want "compares floats exactly"
+}
+
+func mixedConst(a float64) bool {
+	return a == 0.5 // want "compares floats exactly"
+}
+
+func nanProbe(x float64) bool {
+	return x != x // ok: the standard NaN test
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: exact integer comparison
+}
+
+func strs(a, b string) bool {
+	return a == b // ok
+}

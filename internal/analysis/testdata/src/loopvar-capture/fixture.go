@@ -1,0 +1,62 @@
+package fixture
+
+import "sync"
+
+func captures(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() { // want "captures loop variable it"
+			defer wg.Done()
+			sink(it)
+		}()
+	}
+	wg.Wait()
+}
+
+func forLoopCapture(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want "captures loop variable i"
+			defer wg.Done()
+			sink(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func deferCapture(items []int) {
+	for i := range items {
+		defer func() { // want "captures loop variable i"
+			sink(i)
+		}()
+	}
+}
+
+func redundantShadow(items []int) {
+	for _, it := range items {
+		it := it // want "shadows a per-iteration loop variable"
+		sink(it)
+	}
+}
+
+func passesArg(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) { // ok: iteration value passed explicitly
+			defer wg.Done()
+			sink(v)
+		}(it)
+	}
+	wg.Wait()
+}
+
+func usesOutsideClosure(items []int) {
+	for _, it := range items {
+		sink(it) // ok: plain use, no closure
+	}
+}
+
+func sink(int) {}

@@ -1,0 +1,58 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var counter int
+
+var table = map[string]int{}
+
+var limits = []int{1, 2, 3}
+
+var mu sync.Mutex
+
+var guarded = map[string]int{}
+
+var hits atomic.Int64
+
+func bump() {
+	counter++ // want "writes package-level var counter"
+}
+
+func assign(n int) {
+	counter = n // want "writes package-level var counter"
+}
+
+func insert(k string) {
+	table[k] = 1 // want "writes package-level var table"
+}
+
+func elem(i, v int) {
+	limits[i] = v // want "writes package-level var limits"
+}
+
+func insertGuarded(k string) {
+	mu.Lock()
+	defer mu.Unlock()
+	guarded[k] = 1 // ok: lock acquired in this function
+}
+
+func atomicBump() {
+	hits.Add(1) // ok: atomic type
+}
+
+func localShadow() {
+	counter := 0 // ok: local variable shadows the package var
+	counter++
+	_ = counter
+}
+
+func readOnly() int {
+	return counter + limits[0] // ok: reads are not flagged
+}
+
+func init() {
+	counter = 1 // ok: init runs single-goroutine before main
+}

@@ -1,0 +1,54 @@
+package fixture
+
+import "sync"
+
+func naked() {
+	go work() // want "no join"
+}
+
+func nakedClosure(n int) {
+	go func() { // want "no join"
+		work()
+	}()
+	_ = n
+}
+
+func waitGroupJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ok: wg.Wait below
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func channelJoined() {
+	done := make(chan struct{})
+	go func() { // ok: received below
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+func rangeJoined(results chan int) {
+	go func() { // ok: range over channel below
+		results <- 1
+		close(results)
+	}()
+	for range results {
+	}
+}
+
+func selectJoined(done chan struct{}, stop chan struct{}) {
+	go func() { // ok: select below
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-stop:
+	}
+}
+
+func work() {}

@@ -1,0 +1,28 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalSource() int {
+	rand.Seed(42)            // want "global math/rand source"
+	x := rand.Intn(10)       // want "global math/rand source"
+	_ = rand.Float64()       // want "global math/rand source"
+	rand.Shuffle(3, swapper) // want "global math/rand source"
+	return x
+}
+
+func timeSeeded() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want "not reproducible"
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: explicit seed threaded in
+}
+
+func seededUse(rng *rand.Rand) int {
+	return rng.Intn(10) // ok: method on an explicit generator
+}
+
+func swapper(i, j int) {}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// UnseededRand flags math/rand usage that is not reproducible from an
+// explicit seed: any call through the package-level (globally seeded)
+// source, and any rand.NewSource/rand.New seeded from time.Now. Every
+// trace/NN/forest component in this repo must thread a seed from its
+// Config so the paper's per-seed tables can be regenerated exactly.
+type UnseededRand struct{}
+
+func (UnseededRand) Name() string { return "unseeded-rand" }
+func (UnseededRand) Doc() string {
+	return "flags math/rand global-source calls and time.Now-seeded sources"
+}
+
+// randGlobalFuncs are the package-level functions of math/rand and
+// math/rand/v2 that draw from the shared, implicitly seeded source.
+// New/NewSource/NewPCG/NewChaCha8/NewZipf are deliberately absent: they
+// take an explicit seed or source.
+var randGlobalFuncs = map[string]bool{
+	// math/rand
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// math/rand/v2 additions
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+func (c UnseededRand) Run(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := qualifiedCall(p.Info, call)
+			if !ok || !isRandPkg(pkg) {
+				return true
+			}
+			switch {
+			case randGlobalFuncs[name]:
+				out = append(out, p.finding(c.Name(), call.Pos(),
+					"rand.%s draws from the global math/rand source; construct rand.New(rand.NewSource(seed)) with a seed threaded from the caller's Config", name))
+			case callsTimeNow(p, call):
+				out = append(out, p.finding(c.Name(), call.Pos(),
+					"rand.%s seeded from time.Now is not reproducible; thread an explicit seed instead", name))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// callsTimeNow reports whether any argument subtree calls time.Now.
+func callsTimeNow(p *Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := qualifiedCall(p.Info, inner); ok && pkg == "time" && name == "Now" {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

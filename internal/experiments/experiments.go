@@ -65,7 +65,7 @@ func (o Options) withDefaults() Options {
 			o.SampleJobs = o.Jobs
 		}
 	}
-	if o.BurnIn == 0 {
+	if o.BurnIn == 0 { //prionnvet:ignore float-eq exact zero is the "unset, use default" sentinel
 		o.BurnIn = 0.25
 	} else if o.BurnIn < 0 {
 		o.BurnIn = 0
@@ -125,7 +125,7 @@ func (r Result) WriteTo(w io.Writer) (int64, error) {
 // String renders the result table.
 func (r Result) String() string {
 	var b strings.Builder
-	r.WriteTo(&b)
+	_, _ = r.WriteTo(&b) // strings.Builder writes cannot fail
 	return b.String()
 }
 

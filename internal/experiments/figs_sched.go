@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"prionn/internal/ioaware"
 	"prionn/internal/metrics"
@@ -168,8 +169,13 @@ func ioSeriesPair(
 }
 
 // systemIOCache memoizes the §4.3 pipeline so figure pairs sharing it
-// (12/13 and 14/15) run it once per options set.
-var systemIOCache = map[string]systemIOResult{}
+// (12/13 and 14/15) run it once per options set. systemIOMu guards it:
+// experiment runners are callable from concurrent harnesses, and an
+// unsynchronized package-level map write is a fatal data race.
+var (
+	systemIOMu    sync.Mutex
+	systemIOCache = map[string]systemIOResult{}
+)
 
 type systemIOResult struct {
 	acc    metrics.Summary
@@ -181,12 +187,17 @@ type systemIOResult struct {
 // turnaround). Results are memoized per (options, perfect) pair.
 func systemIO(o Options, perfect bool) (accSummary metrics.Summary, sweeps []metrics.Confusion, err error) {
 	key := fmt.Sprintf("%d/%d/%d/%d/%v/%+v", o.Jobs, o.Seed, o.Samples, o.SampleJobs, perfect, o.Cfg)
-	if r, ok := systemIOCache[key]; ok {
+	systemIOMu.Lock()
+	r, ok := systemIOCache[key]
+	systemIOMu.Unlock()
+	if ok {
 		return r.acc, r.sweeps, nil
 	}
 	defer func() {
 		if err == nil {
+			systemIOMu.Lock()
 			systemIOCache[key] = systemIOResult{acc: accSummary, sweeps: sweeps}
+			systemIOMu.Unlock()
 		}
 	}()
 	full := cabTrace(o)

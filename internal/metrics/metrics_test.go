@@ -158,3 +158,42 @@ func TestMeanStd(t *testing.T) {
 		t.Fatal("empty MeanStd must be 0,0")
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1.1, 1e-2, false},
+		{0, 1e-13, 1e-12, true},
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e-9, false},
+		{math.NaN(), math.NaN(), 1e-9, false},
+		{1, math.NaN(), 1e-9, false},
+	}
+	for i, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("case %d: ApproxEqual(%v, %v, %v) = %v, want %v", i, c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualRel(t *testing.T) {
+	cases := []struct {
+		a, b, rel float64
+		want      bool
+	}{
+		{1000, 1000.5, 1e-3, true},
+		{1000, 1002, 1e-3, false},
+		{1e-9, 2e-9, 1e-6, true}, // near zero: absolute fallback
+		{0, 0, 1e-12, true},
+		{math.NaN(), 0, 1e-3, false},
+	}
+	for i, c := range cases {
+		if got := ApproxEqualRel(c.a, c.b, c.rel); got != c.want {
+			t.Errorf("case %d: ApproxEqualRel(%v, %v, %v) = %v, want %v", i, c.a, c.b, c.rel, got, c.want)
+		}
+	}
+}

@@ -103,13 +103,19 @@ func Load(r io.Reader) (*Predictor, error) {
 	return p, nil
 }
 
-// SaveFile writes the predictor to a file.
-func (p *Predictor) SaveFile(path string) error {
+// SaveFile writes the predictor to a file. A Close failure is reported:
+// buffered bytes flushed at close are part of the snapshot, and a
+// deployment restored from a truncated file restarts cold.
+func (p *Predictor) SaveFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return p.Save(f)
 }
 
@@ -119,6 +125,6 @@ func LoadFile(path string) (*Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; close errors carry no data loss
 	return Load(f)
 }

@@ -3,26 +3,32 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxWorkers caps the size of worker pools spawned by ParallelFor. It
 // defaults to runtime.GOMAXPROCS(0) and exists so tests can exercise both
-// the serial and parallel paths deterministically.
-var maxWorkers = runtime.GOMAXPROCS(0)
+// the serial and parallel paths deterministically. It is an atomic
+// because ParallelFor loads it from arbitrary goroutines while tests
+// (and future serving code) call SetMaxWorkers concurrently; a plain
+// int here was a data race.
+var maxWorkers atomic.Int64
+
+func init() {
+	maxWorkers.Store(int64(runtime.GOMAXPROCS(0)))
+}
 
 // SetMaxWorkers overrides the number of workers used by parallel kernels
 // and returns the previous value. n < 1 resets to runtime.GOMAXPROCS(0).
 func SetMaxWorkers(n int) int {
-	prev := maxWorkers
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	maxWorkers = n
-	return prev
+	return int(maxWorkers.Swap(int64(n)))
 }
 
 // MaxWorkers returns the current worker-pool size.
-func MaxWorkers() int { return maxWorkers }
+func MaxWorkers() int { return int(maxWorkers.Load()) }
 
 // ParallelFor runs fn(lo, hi) over contiguous chunks covering [0, n),
 // splitting the range across the worker pool. When the pool has a single
@@ -32,7 +38,7 @@ func ParallelFor(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxWorkers
+	workers := int(maxWorkers.Load())
 	if workers > n {
 		workers = n
 	}

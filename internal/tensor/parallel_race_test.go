@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelForConcurrentSetMaxWorkers hammers ParallelFor while
+// SetMaxWorkers flips the pool size, so `go test -race` exercises the
+// atomic maxWorkers path. The old plain-int package var made this exact
+// interleaving a data race: ParallelFor read maxWorkers from worker
+// goroutines while a configuration goroutine wrote it.
+func TestParallelForConcurrentSetMaxWorkers(t *testing.T) {
+	defer SetMaxWorkers(0) // restore GOMAXPROCS default
+
+	const (
+		iters = 200
+		n     = 1 << 12
+	)
+	var wg sync.WaitGroup
+
+	// Writer: flip the pool size between serial and wide.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			SetMaxWorkers(1 + i%8)
+			_ = MaxWorkers()
+		}
+	}()
+
+	// Readers: run parallel kernels that cover the full range every time
+	// regardless of the worker count observed.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				covered := make([]bool, n)
+				// Chunks are disjoint, so unsynchronized writes to
+				// distinct indices are race-free by construction.
+				ParallelFor(n, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						covered[j] = true
+					}
+				})
+				for j, ok := range covered {
+					if !ok {
+						t.Errorf("index %d not covered", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSetMaxWorkersSwap checks the return-previous contract survives the
+// atomic rewrite.
+func TestSetMaxWorkersSwap(t *testing.T) {
+	orig := MaxWorkers()
+	defer SetMaxWorkers(orig)
+
+	prev := SetMaxWorkers(3)
+	if prev != orig {
+		t.Fatalf("SetMaxWorkers returned %d, want previous value %d", prev, orig)
+	}
+	if got := MaxWorkers(); got != 3 {
+		t.Fatalf("MaxWorkers = %d, want 3", got)
+	}
+	if prev := SetMaxWorkers(0); prev != 3 {
+		t.Fatalf("SetMaxWorkers(0) returned %d, want 3", prev)
+	}
+	if got := MaxWorkers(); got < 1 {
+		t.Fatalf("MaxWorkers after reset = %d, want >= 1", got)
+	}
+}

@@ -38,13 +38,18 @@ func LoadJSON(r io.Reader) ([]Job, error) {
 	return jobs, nil
 }
 
-// SaveJSONFile writes a trace to a file.
-func SaveJSONFile(path string, jobs []Job) error {
+// SaveJSONFile writes a trace to a file. Close errors are propagated:
+// a silently truncated trace would skew every downstream table.
+func SaveJSONFile(path string, jobs []Job) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return SaveJSON(f, jobs)
 }
 
@@ -54,7 +59,7 @@ func LoadJSONFile(path string) ([]Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; close errors carry no data loss
 	return LoadJSON(f)
 }
 

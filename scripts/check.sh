@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# check.sh — the full merge gate for the PRIONN reproduction.
+#
+# Runs, in order:
+#   1. gofmt          (formatting drift)
+#   2. go vet         (stock correctness checks)
+#   3. go build       (everything compiles)
+#   4. prionnvet      (repo-specific reproducibility & race-safety checks;
+#                      see DESIGN.md "Static analysis & reproducibility
+#                      gates" and cmd/prionnvet)
+#   5. go test        (tier-1 tests)
+#   6. go test -race  (the parallel kernels and scheduler under the race
+#                      detector, including the ParallelFor/SetMaxWorkers
+#                      hammer test)
+#
+# Exits nonzero on the first failure. No Makefile on purpose: this file
+# is the single committed description of the gate, invoked directly by
+# CI (.github/workflows/ci.yml) and by hand before sending a PR.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "gofmt needs to be run on:" >&2
+    echo "$fmt_out" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== prionnvet ./..."
+go run ./cmd/prionnvet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (tensor, sched, nn)"
+go test -race ./internal/tensor/... ./internal/sched/... ./internal/nn/...
+
+echo "all checks passed"
