@@ -7,8 +7,10 @@ package prionn_bench
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
+	"prionn/internal/analysis"
 	"prionn/internal/experiments"
 	"prionn/internal/ioaware"
 	"prionn/internal/mapping"
@@ -309,4 +311,64 @@ func BenchmarkDenseTrainStep(b *testing.B) {
 // importing features directly into the bench namespace).
 func newEncoderForBench() func(trace.Job) []float64 {
 	return experiments.EncodeJobFeatures()
+}
+
+// --- prionnvet static-analysis gate ----------------------------------------
+
+// vetPackages loads and type-checks every package in the repo exactly
+// once, so BenchmarkPrionnvetRunAll times only the analysis passes
+// (dataflow construction + checkers), not parsing or type-checking.
+var vetPackages = struct {
+	once   sync.Once
+	loader *analysis.Loader
+	pkgs   []*analysis.Package
+	err    error
+}{}
+
+func loadVetPackages(b *testing.B) (*analysis.Loader, []*analysis.Package) {
+	b.Helper()
+	v := &vetPackages
+	v.once.Do(func() {
+		v.loader, v.err = analysis.NewLoader(".")
+		if v.err != nil {
+			return
+		}
+		dirs, err := analysis.PackageDirs(".", nil)
+		if err != nil {
+			v.err = err
+			return
+		}
+		for _, dir := range dirs {
+			pkg, err := v.loader.LoadDir(dir)
+			if err != nil {
+				v.err = err
+				return
+			}
+			v.pkgs = append(v.pkgs, pkg)
+		}
+	})
+	if v.err != nil {
+		b.Fatal(v.err)
+	}
+	return v.loader, v.pkgs
+}
+
+// BenchmarkPrionnvetRunAll measures one full gate sweep: every checker
+// over every package in the repo. A fresh Pass per package per
+// iteration makes the per-iteration cost include the SSA-lite def-use
+// index (Pass memoizes FuncInfos, so reusing passes would time only
+// the first iteration honestly).
+func BenchmarkPrionnvetRunAll(b *testing.B) {
+	loader, pkgs := loadVetPackages(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, pkg := range pkgs {
+			n += len(analysis.RunAll(pkg.Pass(loader.Fset), nil))
+		}
+		if n != 0 {
+			b.Fatalf("gate not clean: %d findings", n)
+		}
+	}
 }

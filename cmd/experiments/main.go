@@ -89,6 +89,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
+		//prionnvet:ignore time-dep wall time is an intentional measurement note, not model data
 		res.Notes = append(res.Notes, fmt.Sprintf("wall time %.1fs", time.Since(start).Seconds()))
 		if _, err := res.WriteTo(w); err != nil {
 			log.Fatal(err)

@@ -154,7 +154,7 @@ func spark(series []float64) string {
 			max = v
 		}
 	}
-	if max == 0 { //prionnvet:ignore float-eq exact zero of non-negative sums means "no traffic", a sentinel not a computed value
+	if max == 0 {
 		return strings.Repeat(" ", width)
 	}
 	var b strings.Builder

@@ -2,7 +2,11 @@
 // vet pass (go/ast + go/types, no external deps) over the bug classes
 // that silently break the paper's reproducibility — unseeded
 // randomness, exact float comparison, dropped IO errors, unjoined
-// goroutines, loop-variable captures, and unsynchronized package state.
+// goroutines, loop-variable captures, unsynchronized package state,
+// map-iteration order leaking into results, RNGs shared across
+// goroutines or seeded from laundered wall time, wall-clock values
+// flowing into data, and completion-order channel aggregation. The
+// checkers share an SSA-lite def-use index; see DESIGN.md §6.
 //
 // Usage:
 //

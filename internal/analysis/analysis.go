@@ -45,6 +45,10 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// funcs memoizes the dataflow analysis (see FuncInfos): every
+	// checker running over the same Pass shares one def-use computation.
+	funcs []*FuncInfo
 }
 
 func (p *Pass) finding(check string, pos token.Pos, format string, args ...any) Finding {
@@ -77,6 +81,10 @@ func All() []Checker {
 		NakedGoroutine{},
 		LoopCapture{},
 		MutablePkgVar{},
+		MapOrder{},
+		SeedFlow{},
+		TimeDep{},
+		NondetSelect{},
 	}
 }
 

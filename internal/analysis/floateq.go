@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"strings"
@@ -13,6 +14,13 @@ import (
 // accuracy tables the paper reports. Comparisons belong in the approved
 // tolerance helpers of internal/metrics (ApproxEqual / ApproxEqualRel),
 // which are exempt, as is the x != x NaN idiom.
+//
+// Comparing against a constant zero is exempt when the dataflow engine
+// shows the other operand is a pure load (a field, an element, a
+// parameter, a range value): a zero there is a sentinel written as the
+// literal 0, and loads reproduce it bit-exactly. The comparison is
+// still flagged when the operand derives from float arithmetic, where
+// "exactly zero" genuinely depends on rounding.
 type FloatEq struct{}
 
 func (FloatEq) Name() string { return "float-eq" }
@@ -44,12 +52,67 @@ func (c FloatEq) Run(p *Pass) []Finding {
 			if be.Op == token.NEQ && sameIdent(be.X, be.Y) {
 				return true
 			}
+			if zeroSentinelExempt(p, be) {
+				return true
+			}
 			out = append(out, p.finding(c.Name(), be.Pos(),
 				"%s compares floats exactly; use metrics.ApproxEqual (or a documented tolerance) instead", be.Op))
 			return true
 		})
 	}
 	return out
+}
+
+// zeroSentinelExempt reports whether be compares a pure load against a
+// constant zero. Zero sentinels (unset field, empty slot) are written
+// as the literal 0 and loads carry them bit-exactly, so the comparison
+// is reliable; any float arithmetic on the operand's producing chain
+// (binary ops, compound assignments, ++/--) voids the exemption.
+func zeroSentinelExempt(p *Pass, be *ast.BinaryExpr) bool {
+	var other ast.Expr
+	switch {
+	case isZeroConst(p.Info, be.Y):
+		other = be.X
+	case isZeroConst(p.Info, be.X):
+		other = be.Y
+	default:
+		return false
+	}
+	fi := p.FuncInfoAt(be.Pos())
+	if fi == nil {
+		return false // package-level initializer: no chains to consult
+	}
+	return !fi.FlowsFrom(other, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				return isFloat(p.Info.TypeOf(e))
+			}
+		case *ast.AssignStmt:
+			switch e.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				return isFloat(p.Info.TypeOf(e.Lhs[0]))
+			}
+		case *ast.IncDecStmt:
+			return isFloat(p.Info.TypeOf(e.X))
+		}
+		return false
+	})
+}
+
+// isZeroConst reports whether e is a compile-time numeric constant equal
+// to zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
 }
 
 func isFloat(t types.Type) bool {

@@ -117,6 +117,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 
 	files, err := l.parseDir(abs)
 	if err != nil {
+		delete(l.byDir, abs) // clear the cycle guard: retries must not report a cycle
 		return nil, err
 	}
 	if len(files) == 0 {

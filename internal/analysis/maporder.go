@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags values ranged from a map that flow into an
+// order-sensitive sink — an append, a float/string accumulator, an
+// output write, or a channel send — with no intervening sort. Go
+// randomizes map iteration order on purpose, so any of these leaks
+// nondeterminism straight into the paper's tables: report rows swap,
+// CSV lines shuffle, float sums differ in the last bits between runs of
+// the same seed. The dataflow engine tracks where the ranged key/value
+// actually flows, so the standard collect-keys-then-sort idiom (as in
+// experiments.IDs) is recognized and left alone.
+type MapOrder struct{}
+
+func (MapOrder) Name() string { return "map-order" }
+func (MapOrder) Doc() string {
+	return "flags map-ranged values flowing into appends/writes/accumulators without a sort"
+}
+
+func (c MapOrder) Run(p *Pass) []Finding {
+	var out []Finding
+	for _, fi := range p.FuncInfos() {
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(p.Info.TypeOf(rs.X)) {
+				return true
+			}
+			out = append(out, c.checkMapRange(fi, rs)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkMapRange inspects one map-range loop body for order-sensitive
+// sinks of the ranged key/value.
+func (c MapOrder) checkMapRange(fi *FuncInfo, rs *ast.RangeStmt) []Finding {
+	p := fi.Pass
+	ranged := map[*types.Var]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := fi.localVarOfDef(id); obj != nil {
+				ranged[obj] = true
+			}
+		}
+	}
+	if len(ranged) == 0 {
+		return nil
+	}
+	fromRanged := func(e ast.Expr) bool {
+		return fi.FlowsFrom(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj, ok := p.Info.Uses[id].(*types.Var)
+			return ok && ranged[obj]
+		})
+	}
+
+	var out []Finding
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(p.Info, s) {
+				for _, arg := range s.Args[1:] {
+					if !fromRanged(arg) {
+						continue
+					}
+					if target := fi.LocalVar(s.Args[0]); target != nil && fi.sortedAfter(target, rs.Pos()) {
+						break // collect-then-sort idiom
+					}
+					out = append(out, p.finding(c.Name(), s.Pos(),
+						"append of map-ranged value inside map iteration; order is random per run — collect keys, sort them, then iterate (or sort the slice before use)"))
+					break
+				}
+				return true
+			}
+			if name, isWrite := writeCallName(p, s); isWrite {
+				for _, arg := range s.Args {
+					if fromRanged(arg) {
+						out = append(out, p.finding(c.Name(), s.Pos(),
+							"%s emits a map-ranged value in iteration order; output differs between same-seed runs — sort the keys first", name))
+						break
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if accum, lhs := isAccumulation(p, s); accum && fromRanged(s.Rhs[0]) && orderSensitiveType(p.Info.TypeOf(lhs)) {
+				out = append(out, p.finding(c.Name(), s.Pos(),
+					"accumulation of map-ranged value; float/string accumulation order changes the result bits — sort the keys first"))
+			}
+		case *ast.SendStmt:
+			if fromRanged(s.Value) {
+				out = append(out, p.finding(c.Name(), s.Pos(),
+					"send of map-ranged value; the receiver observes random map order — sort the keys first"))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether v is passed to a sort/slices ordering
+// call at or after pos in the same function — the collect-then-sort
+// idiom that makes a map-range append deterministic.
+func (fi *FuncInfo) sortedAfter(v *types.Var, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		pkg, _, ok := qualifiedCall(fi.Pass.Info, call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if fi.LocalVar(arg) == v {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isAccumulation reports whether s updates its LHS from its previous
+// value: a compound op-assignment, or x = x <op> y.
+func isAccumulation(p *Pass, s *ast.AssignStmt) (bool, ast.Expr) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true, s.Lhs[0]
+	case token.ASSIGN:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false, nil
+		}
+		id, ok := s.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false, nil
+		}
+		be, ok := s.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return false, nil
+		}
+		lv := p.Info.Uses[id]
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if sid, ok := side.(*ast.Ident); ok && lv != nil && p.Info.Uses[sid] == lv {
+				return true, s.Lhs[0]
+			}
+		}
+	}
+	return false, nil
+}
+
+// orderSensitiveType reports whether accumulating values of type t is
+// sensitive to operand order: floats (rounding is not associative) and
+// strings (concatenation order is the output order). Integer sums are
+// exact and commutative, so they are exempt.
+func orderSensitiveType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+// writeCallName recognizes calls that emit output in call order:
+// fmt.Fprint* and Write*/Print*/Encode* methods.
+func writeCallName(p *Pass, call *ast.CallExpr) (string, bool) {
+	if pkg, name, ok := qualifiedCall(p.Info, call); ok {
+		if pkg == "fmt" && (name == "Fprint" || name == "Fprintf" || name == "Fprintln") {
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, isMethod := p.Info.Selections[sel]; !isMethod {
+		return "", false
+	}
+	name := sel.Sel.Name
+	for _, prefix := range []string{"Write", "Print", "Encode"} {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return calleeName(call), true
+		}
+	}
+	return "", false
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

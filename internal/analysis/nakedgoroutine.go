@@ -15,7 +15,10 @@ import (
 //
 // The join detection is a function-scoped heuristic: evidence anywhere
 // in the innermost enclosing function body counts for every goroutine
-// launched there.
+// launched there. The dataflow engine adds the caller-joins cases: a
+// goroutine that signals through a *sync.WaitGroup parameter, or
+// through a channel that is a parameter or is returned to the caller,
+// hands its join to the caller and is not naked.
 type NakedGoroutine struct{}
 
 func (NakedGoroutine) Name() string { return "naked-goroutine" }
@@ -41,7 +44,7 @@ func (c NakedGoroutine) Run(p *Pass) []Finding {
 			}
 			joined := hasJoin(p, body)
 			for _, g := range directGoStmts(body) {
-				if !joined {
+				if !joined && !joinEscapes(p, g) {
 					out = append(out, p.finding(c.Name(), g.Pos(),
 						"goroutine has no join (WaitGroup Wait, channel receive, or select) in the enclosing function"))
 				}
@@ -98,6 +101,76 @@ func hasJoin(p *Pass, body *ast.BlockStmt) bool {
 		return !found
 	})
 	return found
+}
+
+// joinEscapes reports whether the goroutine's join is visibly handed to
+// the caller: the launched code references a *sync.WaitGroup that is a
+// parameter (the caller Waits), or a channel that is a parameter or is
+// returned from the function (the caller receives).
+func joinEscapes(p *Pass, g *ast.GoStmt) bool {
+	fi := p.FuncInfoAt(g.Pos())
+	if fi == nil {
+		return false
+	}
+	// Channels returned to the caller.
+	returned := map[*types.Var]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if v := fi.LocalVar(res); v != nil && isChan(v.Type()) {
+				returned[v] = true
+			}
+		}
+		return true
+	})
+
+	escapes := false
+	ast.Inspect(g, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || obj == nil {
+			return true
+		}
+		switch {
+		case fi.ParamObjs[obj] && (isWaitGroup(obj.Type()) || isChan(obj.Type())):
+			escapes = true
+		case returned[obj]:
+			escapes = true
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup, possibly behind a
+// pointer.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
 }
 
 func isChanType(p *Pass, e ast.Expr) bool {

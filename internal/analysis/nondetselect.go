@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NondetSelect flags channel fan-in patterns whose arrival order leaks
+// into aggregated results. Two shapes:
+//
+//   - a select with two or more receive cases whose bodies append to or
+//     accumulate into an outer variable — select picks a ready case
+//     uniformly at random, so the aggregate's order is a coin flip;
+//   - a range over a channel fed by two or more goroutines in the same
+//     function, where the loop body appends/accumulates in arrival
+//     order.
+//
+// A select used purely as a join (empty or control-only bodies, as in
+// waiting for N done signals) is deliberately not flagged: joining is
+// order-insensitive.
+type NondetSelect struct{}
+
+func (NondetSelect) Name() string { return "nondet-select" }
+func (NondetSelect) Doc() string {
+	return "flags multi-case selects and multi-producer channel fan-in feeding aggregation"
+}
+
+func (c NondetSelect) Run(p *Pass) []Finding {
+	var out []Finding
+	for _, fi := range p.FuncInfos() {
+		out = append(out, c.checkSelects(fi)...)
+		out = append(out, c.checkFanIn(fi)...)
+	}
+	return out
+}
+
+// aggregates reports whether any statement in body builds up state
+// outside the body: an append whose target is declared outside, a
+// compound assignment to an outer variable, or a store into an outer
+// map/slice element.
+func aggregates(fi *FuncInfo, body []ast.Stmt, insideOf ast.Node) bool {
+	outer := func(e ast.Expr) bool {
+		v := fi.LocalVar(e)
+		if v == nil {
+			if id, ok := e.(*ast.Ident); ok {
+				// Package-level or captured variable: outside by definition.
+				if obj, isVar := fi.Pass.Info.ObjectOf(id).(*types.Var); isVar && obj != nil && !fi.isLocal(obj) {
+					return true
+				}
+			}
+			return false
+		}
+		return !(insideOf.Pos() <= v.Pos() && v.Pos() <= insideOf.End())
+	}
+	found := false
+	for _, st := range body {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				switch s.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					if outer(s.Lhs[0]) {
+						found = true
+					}
+				case token.ASSIGN, token.DEFINE:
+					for i, lhs := range s.Lhs {
+						rhs := s.Rhs[0]
+						if len(s.Rhs) == len(s.Lhs) {
+							rhs = s.Rhs[i]
+						}
+						// x = append(x, ...) with x outer. Indexed placement
+						// (results[i] = v) is NOT aggregation: it is the
+						// order-insensitive remedy this checker recommends.
+						if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(fi.Pass.Info, call) && outer(lhs) {
+							found = true
+						}
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			break
+		}
+	}
+	return found
+}
+
+func (c NondetSelect) checkSelects(fi *FuncInfo) []Finding {
+	p := fi.Pass
+	var out []Finding
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		recvCases := 0
+		aggregating := false
+		for _, cl := range sel.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm == nil {
+				continue // default case
+			}
+			isRecv := false
+			switch s := cc.Comm.(type) {
+			case *ast.ExprStmt:
+				if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					isRecv = true
+				}
+			case *ast.AssignStmt:
+				if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					isRecv = true
+				}
+			}
+			if !isRecv {
+				continue
+			}
+			recvCases++
+			if aggregates(fi, cc.Body, sel) {
+				aggregating = true
+			}
+		}
+		if recvCases >= 2 && aggregating {
+			out = append(out, p.finding(c.Name(), sel.Pos(),
+				"select with %d receive cases aggregates into outer state; select picks ready cases in random order, so the aggregate order differs per run — read each channel in a fixed order, or aggregate into per-source slots and merge deterministically", recvCases))
+		}
+		return true
+	})
+	return out
+}
+
+// checkFanIn flags `for v := range ch` loops that aggregate, where ch
+// receives sends from two or more goroutines launched in this function
+// (or one goroutine launched in a loop).
+func (c NondetSelect) checkFanIn(fi *FuncInfo) []Finding {
+	p := fi.Pass
+
+	// Count goroutine-side senders per channel variable.
+	senders := map[*types.Var]int{}
+	var countSends func(n ast.Node, mult int)
+	countSends = func(n ast.Node, mult int) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				if s.Body != nil {
+					countSends(s.Body, 2) // loop body: treat as many
+				}
+				return false
+			case *ast.RangeStmt:
+				if s.Body != nil {
+					countSends(s.Body, 2)
+				}
+				return false
+			case *ast.GoStmt:
+				ast.Inspect(s, func(m ast.Node) bool {
+					if send, ok := m.(*ast.SendStmt); ok {
+						if ch := fi.LocalVar(send.Chan); ch != nil {
+							senders[ch] += mult
+						}
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		})
+	}
+	countSends(fi.Decl.Body, 1)
+	if len(senders) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !isChanType(p, rs.X) {
+			return true
+		}
+		ch := fi.LocalVar(rs.X)
+		if ch == nil || senders[ch] < 2 {
+			return true
+		}
+		if aggregates(fi, rs.Body.List, rs) {
+			out = append(out, p.finding(c.Name(), rs.Pos(),
+				"range over channel %s aggregates results in arrival order with %d concurrent senders; arrival order is schedule-dependent — tag results with an index and place them, or collect then sort", ch.Name(), senders[ch]))
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SeedFlow tracks how seeds and seeded generators travel through a
+// function. Three bug classes break per-seed reproducibility even when
+// every constructor call looks correct in isolation:
+//
+//   - a fresh *rand.Rand declared with := shadowing an outer generator,
+//     so part of the function silently draws from a different stream;
+//   - one *rand.Rand shared across goroutines (rand.Rand is not
+//     concurrency-safe, and even with a lock the interleaving order
+//     changes the draw sequence between runs);
+//   - a seed that reaches rand.NewSource/NewPCG from time.Now through
+//     one or more local assignments — the laundering the purely
+//     syntactic unseeded-rand checker cannot see.
+type SeedFlow struct{}
+
+func (SeedFlow) Name() string { return "seed-flow" }
+func (SeedFlow) Doc() string {
+	return "flags shadowed rand generators, cross-goroutine rand sharing, and time-derived seeds"
+}
+
+func (c SeedFlow) Run(p *Pass) []Finding {
+	var out []Finding
+	out = append(out, c.shadows(p)...)
+	for _, fi := range p.FuncInfos() {
+		out = append(out, c.sharedAcrossGoroutines(fi)...)
+		out = append(out, c.launderedSeeds(fi)...)
+	}
+	return out
+}
+
+// shadows flags := / var declarations of a rand generator whose name
+// shadows an outer generator.
+func (c SeedFlow) shadows(p *Pass) []Finding {
+	// types.Info.Defs is a map; collect candidates and sort by position
+	// so the checker's own report order is deterministic.
+	var ids []*ast.Ident
+	for id, obj := range p.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || !isRandGenType(v.Type()) {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Pos() < ids[j].Pos() })
+
+	var out []Finding
+	for _, id := range ids {
+		v := p.Info.Defs[id].(*types.Var)
+		scope := v.Parent()
+		if scope == nil || scope.Parent() == nil || scope.Parent() == types.Universe {
+			continue // package scope, or no outer scope to shadow
+		}
+		if isParamIdent(p, id) {
+			continue // parameters name the caller's generator on purpose
+		}
+		if _, prev := scope.Parent().LookupParent(id.Name, id.Pos()); prev != nil {
+			if pv, ok := prev.(*types.Var); ok && isRandGenType(pv.Type()) {
+				out = append(out, p.finding(c.Name(), id.Pos(),
+					"declaration of %s shadows an outer rand generator; the shadowed stream and the new one diverge silently — reuse the outer generator or name the new one distinctly", id.Name))
+			}
+		}
+	}
+	return out
+}
+
+// sharedAcrossGoroutines flags a rand generator captured by goroutines
+// in a way that makes the draw order depend on scheduling: captured by
+// a goroutine launched in a loop, by two or more goroutines, or by one
+// goroutine while the spawner keeps drawing from it.
+func (c SeedFlow) sharedAcrossGoroutines(fi *FuncInfo) []Finding {
+	p := fi.Pass
+	type launch struct {
+		stmt   *ast.GoStmt
+		inLoop bool
+	}
+	var launches []launch
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				if s.Body != nil {
+					walk(s.Body, true)
+				}
+				return false
+			case *ast.RangeStmt:
+				if s.Body != nil {
+					walk(s.Body, true)
+				}
+				return false
+			case *ast.GoStmt:
+				launches = append(launches, launch{s, inLoop})
+			}
+			return true
+		})
+	}
+	walk(fi.Decl.Body, false)
+	if len(launches) == 0 {
+		return nil
+	}
+
+	// fi.Defs is a map; order the generators by declaration position.
+	var gens []*types.Var
+	for obj := range fi.Defs {
+		if isRandGenType(obj.Type()) {
+			gens = append(gens, obj)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Pos() < gens[j].Pos() })
+
+	var out []Finding
+	for _, obj := range gens {
+		declPos := obj.Pos()
+		var inGo []launch       // launches whose body/args use obj
+		var lastGoEnd token.Pos // end of the latest such launch
+		for _, l := range launches {
+			if l.stmt.Pos() <= declPos && declPos <= l.stmt.End() {
+				continue // generator declared inside the goroutine: private to it
+			}
+			usedHere := false
+			for _, u := range fi.Uses[obj] {
+				if u.Pos() >= l.stmt.Pos() && u.Pos() <= l.stmt.End() {
+					usedHere = true
+					break
+				}
+			}
+			if usedHere {
+				inGo = append(inGo, l)
+				if l.stmt.End() > lastGoEnd {
+					lastGoEnd = l.stmt.End()
+				}
+			}
+		}
+		if len(inGo) == 0 {
+			continue
+		}
+		switch {
+		case inGo[0].inLoop:
+			out = append(out, p.finding(c.Name(), inGo[0].stmt.Pos(),
+				"goroutine launched in a loop captures rand generator %s; concurrent draws race and their order is schedule-dependent — derive one seeded generator per goroutine", obj.Name()))
+		case len(inGo) >= 2:
+			out = append(out, p.finding(c.Name(), inGo[1].stmt.Pos(),
+				"rand generator %s is captured by multiple goroutines; draw order becomes schedule-dependent — derive one seeded generator per goroutine", obj.Name()))
+		default:
+			for _, u := range fi.Uses[obj] {
+				if u.Pos() > lastGoEnd {
+					out = append(out, p.finding(c.Name(), u.Pos(),
+						"rand generator %s is used here while also captured by a goroutine above; draws race and their interleaving is nondeterministic — derive a separate seeded generator", obj.Name()))
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// launderedSeeds flags seeds that reach a rand constructor from
+// time.Now through local assignments. The direct form
+// rand.NewSource(time.Now().UnixNano()) is unseeded-rand's, so it is
+// excluded here to avoid double reports.
+func (c SeedFlow) launderedSeeds(fi *FuncInfo) []Finding {
+	p := fi.Pass
+	var out []Finding
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := qualifiedCall(p.Info, call)
+		if !ok || !isRandPkg(pkg) {
+			return true
+		}
+		switch name {
+		case "NewSource", "NewPCG", "NewZipf", "New":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if isRandGenType(p.Info.TypeOf(arg)) {
+				continue // a generator/source argument, not a seed; its own constructor is checked
+			}
+			if callsTimeNowExpr(p, arg) {
+				continue // the syntactic case; unseeded-rand reports it
+			}
+			if fi.FlowsFrom(arg, func(n ast.Node) bool {
+				inner, ok := n.(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				ipkg, iname, ok := qualifiedCall(p.Info, inner)
+				return ok && ipkg == "time" && iname == "Now"
+			}) {
+				out = append(out, p.finding(c.Name(), call.Pos(),
+					"seed passed to rand.%s derives from time.Now via local assignments; thread an explicit seed from the caller's Config instead", name))
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// callsTimeNowExpr reports whether the expression subtree itself calls
+// time.Now (no dataflow).
+func callsTimeNowExpr(p *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if pkg, name, ok := qualifiedCall(p.Info, call); ok && pkg == "time" && name == "Now" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRandGenType reports whether t is a math/rand generator or source
+// (possibly behind a pointer): rand.Rand, rand.Source, v2 equivalents.
+func isRandGenType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !isRandPkg(obj.Pkg().Path()) {
+		return false
+	}
+	switch obj.Name() {
+	case "Rand", "Source", "Source64", "PCG", "ChaCha8":
+		return true
+	}
+	return false
+}
+
+// isParamIdent reports whether id is declared in a function's
+// parameter/receiver/result list.
+func isParamIdent(p *Pass, id *ast.Ident) bool {
+	fi := p.FuncInfoAt(id.Pos())
+	if fi == nil {
+		return false
+	}
+	obj, ok := p.Info.Defs[id].(*types.Var)
+	return ok && fi.ParamObjs[obj]
+}

@@ -1,0 +1,31 @@
+package fixture
+
+import "strconv"
+
+func chain(m map[string]int) string {
+	a := 1
+	b := a + 2
+	s := strconv.Itoa(b)
+	for k, v := range m {
+		_ = k
+		b = v
+	}
+	b += 3
+	return s
+}
+
+func params(x int, ys []int) (out int) {
+	for _, y := range ys {
+		out += y * x
+	}
+	return out
+}
+
+func closure() int {
+	total := 0
+	add := func(d int) {
+		total += d
+	}
+	add(2)
+	return total
+}

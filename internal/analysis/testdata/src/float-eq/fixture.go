@@ -22,6 +22,35 @@ func nanProbe(x float64) bool {
 	return x != x // ok: the standard NaN test
 }
 
+type config struct{ Frac float64 }
+
+func zeroSentinelField(c config) bool {
+	return c.Frac == 0 // ok: sentinel test on a pure load
+}
+
+func zeroSentinelRange(ws []float64) int {
+	n := 0
+	for _, w := range ws {
+		if w == 0 { // ok: range value is a load
+			n++
+		}
+	}
+	return n
+}
+
+func zeroAfterArith(a, b float64) bool {
+	d := a - b
+	return d == 0 // want "compares floats exactly"
+}
+
+func zeroAccum(xs []float64) bool {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum != 0 // want "compares floats exactly"
+}
+
 func ints(a, b int) bool {
 	return a == b // ok: exact integer comparison
 }

@@ -1,0 +1,69 @@
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+func appendUnsorted(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want "append of map-ranged value"
+	}
+	return out
+}
+
+func collectThenSort(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: keys sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v) // want "emits a map-ranged value"
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "accumulation of map-ranged value"
+	}
+	return sum
+}
+
+func intAccumOK(m map[string]string) int {
+	n := 0
+	for _, v := range m {
+		n += len(v) // ok: integer sums are exact and commutative
+	}
+	return n
+}
+
+func sendUnsorted(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want "send of map-ranged value"
+	}
+}
+
+func launderedAppend(m map[string]float64) []string {
+	var rows []string
+	for k, v := range m {
+		row := fmt.Sprintf("%s,%g", k, v)
+		rows = append(rows, row) // want "append of map-ranged value"
+	}
+	return rows
+}
+
+func sliceRangeOK(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // ok: slice order is deterministic
+	}
+	return sum
+}

@@ -51,4 +51,26 @@ func selectJoined(done chan struct{}, stop chan struct{}) {
 	}
 }
 
+func callerJoins(wg *sync.WaitGroup) {
+	go func() { // ok: WaitGroup parameter; the caller Waits
+		defer wg.Done()
+		work()
+	}()
+}
+
+func returnsChannel() chan int {
+	ch := make(chan int)
+	go func() { // ok: channel returned; the caller receives
+		ch <- 1
+		close(ch)
+	}()
+	return ch
+}
+
+func chanParam(out chan<- int) {
+	go func() { // ok: channel parameter; the caller receives
+		out <- 1
+	}()
+}
+
 func work() {}

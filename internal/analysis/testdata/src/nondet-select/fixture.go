@@ -1,0 +1,98 @@
+package fixture
+
+import "sync"
+
+func selectAggregates(a, b chan float64) []float64 {
+	var out []float64
+	for i := 0; i < 4; i++ {
+		select { // want "select with 2 receive cases aggregates"
+		case v := <-a:
+			out = append(out, v)
+		case v := <-b:
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func selectAccum(a, b chan float64) float64 {
+	var sum float64
+	for i := 0; i < 2; i++ {
+		select { // want "select with 2 receive cases aggregates"
+		case v := <-a:
+			sum += v
+		case v := <-b:
+			sum += v
+		}
+	}
+	return sum
+}
+
+func selectJoinOK(done, stop chan struct{}) {
+	select { // ok: join only, order-insensitive
+	case <-done:
+	case <-stop:
+	}
+}
+
+func fanInAppend() []int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	go func() { ch <- 2; close(ch) }()
+	var out []int
+	for v := range ch { // want "aggregates results in arrival order"
+		out = append(out, v)
+	}
+	return out
+}
+
+func fanInLoopSenders(xs []int) []int {
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		x := x
+		go func() { defer wg.Done(); ch <- x }()
+	}
+	go func() { wg.Wait(); close(ch) }()
+	var out []int
+	for v := range ch { // want "aggregates results in arrival order"
+		out = append(out, v)
+	}
+	return out
+}
+
+func singleProducerOK(xs []int) []int {
+	ch := make(chan int)
+	go func() {
+		for _, x := range xs {
+			ch <- x
+		}
+		close(ch)
+	}()
+	var out []int
+	for v := range ch { // ok: one producer, order matches xs
+		out = append(out, v)
+	}
+	return out
+}
+
+func indexedPlacementOK(xs []float64) []float64 {
+	type tagged struct {
+		i int
+		v float64
+	}
+	ch := make(chan tagged)
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		i, x := i, x
+		go func() { defer wg.Done(); ch <- tagged{i, x * x} }()
+	}
+	go func() { wg.Wait(); close(ch) }()
+	out := make([]float64, len(xs))
+	for t := range ch { // ok: indexed placement is order-insensitive
+		out[t.i] = t.v
+	}
+	return out
+}

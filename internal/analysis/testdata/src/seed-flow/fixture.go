@@ -1,0 +1,73 @@
+package fixture
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+func shadowed(rng *rand.Rand) float64 {
+	total := rng.Float64()
+	if total > 0.5 {
+		rng := rand.New(rand.NewSource(2)) // want "shadows an outer rand generator"
+		total += rng.Float64()
+	}
+	return total
+}
+
+func sharedInLoop(jobs []int) {
+	rng := rand.New(rand.NewSource(1))
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() { // want "goroutine launched in a loop captures rand generator rng"
+			defer wg.Done()
+			_ = rng.Float64()
+		}()
+	}
+	wg.Wait()
+}
+
+func sharedTwoGoroutines(done chan struct{}) {
+	rng := rand.New(rand.NewSource(7))
+	go func() {
+		_ = rng.Int()
+		done <- struct{}{}
+	}()
+	go func() { // want "captured by multiple goroutines"
+		_ = rng.Int()
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+func usedAfterLaunch(done chan struct{}) float64 {
+	rng := rand.New(rand.NewSource(9))
+	go func() {
+		_ = rng.Float64()
+		close(done)
+	}()
+	x := rng.Float64() // want "used here while also captured by a goroutine"
+	<-done
+	return x
+}
+
+func perGoroutineOK(done chan struct{}) {
+	go func() { // ok: generator private to the goroutine
+		rng := rand.New(rand.NewSource(3))
+		_ = rng.Int()
+		close(done)
+	}()
+	<-done
+}
+
+func launderedSeed() *rand.Rand {
+	seed := time.Now().UnixNano()
+	src := rand.NewSource(seed) // want "derives from time.Now"
+	return rand.New(src)
+}
+
+func explicitSeedOK(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: caller-provided seed
+}

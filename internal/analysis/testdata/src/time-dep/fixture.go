@@ -1,0 +1,64 @@
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+type result struct {
+	Elapsed float64
+	Rows    []string
+}
+
+func returnsElapsed() float64 {
+	start := time.Now()
+	work()
+	return time.Since(start).Seconds() // want "returned as data"
+}
+
+func launderedReturn() float64 {
+	start := time.Now()
+	work()
+	sec := time.Since(start).Seconds()
+	return sec // want "returned as data"
+}
+
+func storesField(res *result) {
+	start := time.Now()
+	work()
+	res.Elapsed = time.Since(start).Seconds() // want "stored into field Elapsed"
+}
+
+func storesMap(secs map[string]float64) {
+	start := time.Now()
+	work()
+	secs["run"] = time.Since(start).Seconds() // want "stored into an indexed element"
+}
+
+func appendsRow() []string {
+	start := time.Now()
+	work()
+	var rows []string
+	rows = append(rows, fmt.Sprintf("%.2f", time.Since(start).Seconds())) // want "appended to rows"
+	return rows
+}
+
+func sendsTiming(ch chan time.Duration) {
+	start := time.Now()
+	work()
+	ch <- time.Since(start) // want "sent on a channel"
+}
+
+func logsOK() {
+	start := time.Now()
+	work()
+	fmt.Printf("took %.2fs\n", time.Since(start).Seconds()) // ok: logging stays in logs
+}
+
+func timeoutOK(limit time.Duration) bool {
+	start := time.Now()
+	work()
+	return time.Since(start) > limit // ok: control-flow comparison, not data
+}
+
+func work() {}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TimeDep flags wall-clock values (time.Now / time.Since) that flow
+// into data — return values, stored fields, collections, channel sends —
+// rather than into logging. A timestamp in a log line is fine; a
+// timestamp in a feature vector, a report row, or a persisted result
+// makes two same-seed runs differ. The taint is tracked through local
+// assignments with the dataflow engine, so laundering through
+// intermediate variables is caught, while passing the value to a plain
+// call statement (logging/progress reporting) is not flagged.
+type TimeDep struct{}
+
+func (TimeDep) Name() string { return "time-dep" }
+func (TimeDep) Doc() string {
+	return "flags time.Now/Since values flowing into returns, stored data, or sends instead of logging"
+}
+
+func (c TimeDep) Run(p *Pass) []Finding {
+	var out []Finding
+	for _, fi := range p.FuncInfos() {
+		out = append(out, c.checkFunc(fi)...)
+	}
+	return out
+}
+
+// timeScalar reports whether t can carry a wall-clock reading as a
+// value: numeric basics, time.Time, time.Duration. Restricting the
+// taint to scalars keeps container writes (the sink) from themselves
+// becoming tainted sources.
+func timeScalar(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+			(obj.Name() == "Time" || obj.Name() == "Duration") {
+			return true
+		}
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsNumeric|types.IsString) != 0
+}
+
+// isClockCall reports whether call reads the wall clock.
+func isClockCall(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, name, ok := qualifiedCall(info, call); ok {
+		return pkg == "time" && (name == "Now" || name == "Since")
+	}
+	// Method chains rooted at a clock call: time.Now().UnixNano(),
+	// time.Since(t0).Seconds().
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if inner, ok := sel.X.(*ast.CallExpr); ok {
+			return isClockCall(info, inner)
+		}
+	}
+	return false
+}
+
+func (c TimeDep) checkFunc(fi *FuncInfo) []Finding {
+	p := fi.Pass
+
+	// clockFlow: does any part of e derive from a clock read through
+	// local assignments? Used for append arguments, where the tainted
+	// scalar may sit inside a composite literal or Sprintf call.
+	clockFlow := func(e ast.Expr) bool {
+		return fi.FlowsFrom(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			return ok && isClockCall(p.Info, call)
+		})
+	}
+	// clockDerived: same, but gated to scalar-typed expressions so that
+	// container-typed intermediates do not double-report.
+	clockDerived := func(e ast.Expr) bool {
+		return timeScalar(p.Info.TypeOf(e)) && clockFlow(e)
+	}
+
+	// Call statements (ExprStmt / go / defer) are logging or progress
+	// reporting: exempt their whole subtree from sink detection.
+	exempt := map[ast.Node]bool{}
+	markExempt := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			exempt[m] = true
+			return true
+		})
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if _, ok := s.X.(*ast.CallExpr); ok {
+				markExempt(s)
+				return false
+			}
+		case *ast.GoStmt, *ast.DeferStmt:
+			// The call expression itself is the statement; launching or
+			// deferring a log call is still logging. Bodies of function
+			// literals inside are separate statements and re-inspected.
+		}
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if exempt[n] {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if clockDerived(res) {
+					out = append(out, p.finding(c.Name(), res.Pos(),
+						"wall-clock value returned as data; same-seed runs will differ — return a seeded/deterministic quantity, or suppress if this is an intentional timing measurement"))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				rhs := s.Rhs[0]
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				}
+				if !storesIntoData(fi, lhs) {
+					continue
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(p.Info, call) {
+					for _, a := range call.Args[1:] {
+						if clockFlow(a) {
+							out = append(out, p.finding(c.Name(), s.Pos(),
+								"wall-clock value appended to %s; timing leaks into persisted data — keep timestamps in logs, or suppress if this is an intentional timing measurement", storeDesc(lhs)))
+							break
+						}
+					}
+					continue
+				}
+				if !clockDerived(rhs) {
+					continue
+				}
+				out = append(out, p.finding(c.Name(), s.Pos(),
+					"wall-clock value stored into %s; timing leaks into persisted data — keep timestamps in logs, or suppress if this is an intentional timing measurement", storeDesc(lhs)))
+			}
+		case *ast.SendStmt:
+			if clockDerived(s.Value) {
+				out = append(out, p.finding(c.Name(), s.Pos(),
+					"wall-clock value sent on a channel as data; downstream aggregation becomes timing-dependent"))
+			}
+		case *ast.CallExpr:
+			// append(dst, ...tainted) assigned somewhere reaches here via
+			// the AssignStmt case only if the whole append is the RHS; a
+			// clock value as a non-append call argument is a plain call
+			// and intentionally not flagged (conservative: could be a
+			// formatting/logging helper).
+		}
+		return true
+	})
+	return out
+}
+
+// storesIntoData reports whether assigning to lhs persists the value
+// beyond a plain local scalar: a field selector, an index expression,
+// or a local of composite type (e.g. the slice result of append).
+// Writing a clock value to a plain scalar local is only an intermediate
+// step — the flow query finds it again at the real sink — so flagging
+// here would double-report.
+func storesIntoData(fi *FuncInfo, lhs ast.Expr) bool {
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.Ident:
+		obj, ok := fi.Pass.Info.ObjectOf(l).(*types.Var)
+		if !ok || obj == nil {
+			return false
+		}
+		if !fi.isLocal(obj) {
+			return true // package-level or captured outer variable
+		}
+		// Local of composite type: append targets, maps, structs.
+		if timeScalar(obj.Type()) {
+			return false
+		}
+		switch obj.Type().Underlying().(type) {
+		case *types.Slice, *types.Map, *types.Struct, *types.Array, *types.Chan:
+			return true
+		}
+	}
+	return false
+}
+
+// storeDesc names the store target for the diagnostic.
+func storeDesc(lhs ast.Expr) string {
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr:
+		return "field " + l.Sel.Name
+	case *ast.IndexExpr:
+		return "an indexed element"
+	case *ast.Ident:
+		return l.Name
+	}
+	return "a variable"
+}

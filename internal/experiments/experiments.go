@@ -65,7 +65,7 @@ func (o Options) withDefaults() Options {
 			o.SampleJobs = o.Jobs
 		}
 	}
-	if o.BurnIn == 0 { //prionnvet:ignore float-eq exact zero is the "unset, use default" sentinel
+	if o.BurnIn == 0 {
 		o.BurnIn = 0.25
 	} else if o.BurnIn < 0 {
 		o.BurnIn = 0

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"prionn/internal/ioaware"
@@ -132,7 +133,16 @@ func ioSeriesPair(
 	var t0, t1 int64
 	first := true
 	var actualIvs, predIvs []ioaware.Interval
-	for id, pl := range placements {
+	// Iterate job IDs in sorted order: interval order decides float
+	// summation order in ioaware.Series, and map order would make
+	// same-seed runs differ in the last bits.
+	ids := make([]int, 0, len(placements))
+	for id := range placements {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		pl := placements[id]
 		p := byID[id]
 		j := p.Job
 		actualIvs = append(actualIvs, ioaware.Interval{

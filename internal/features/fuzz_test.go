@@ -1,0 +1,55 @@
+package features
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzExtract throws arbitrary script text at the #SBATCH/#MSUB
+// directive parser. Beyond not panicking, the parser must preserve the
+// identity fields verbatim and honor the workdir fallback contract.
+func FuzzExtract(f *testing.F) {
+	f.Add("#!/bin/bash\n#SBATCH --time=2-12:30:00\n#SBATCH -N 16\nsrun ./app\n", "u1", "g1", "a1")
+	f.Add("#MSUB -l walltime=8:00:00\n#MSUB -l nodes=4\n#MSUB -N myjob\n", "u2", "g2", "")
+	f.Add("#SBATCH", "", "", "")
+	f.Add("#SBATCH --time=\n#SBATCH -n\ncd /lustre/runs\n", "u", "g", "a")
+	f.Add("#SBATCH -t NaN\n#SBATCH -N 1e999\n", "u", "g", "a")
+	f.Fuzz(func(t *testing.T, script, user, group, account string) {
+		j := RawJob{Script: script, User: user, Group: group, Account: account, SubmitDir: "/submit"}
+		s := Extract(j)
+		if s.User != user || s.Group != group {
+			t.Fatalf("identity fields rewritten: %q/%q from %q/%q", s.User, s.Group, user, group)
+		}
+		if account != "" && s.Account == "" {
+			t.Fatalf("non-empty account %q dropped", account)
+		}
+		if s.SubmitDir != "/submit" {
+			t.Fatalf("submit dir rewritten to %q", s.SubmitDir)
+		}
+		if s.WorkDir == "" {
+			t.Fatal("workdir empty despite non-empty submit dir fallback")
+		}
+	})
+}
+
+// FuzzSplitDirective pins the directive tokenizer: key+val never gain
+// bytes that were not in the input, and "--k=v" always splits at '='.
+func FuzzSplitDirective(f *testing.F) {
+	f.Add("--time=4:00:00")
+	f.Add("--time 4:00:00")
+	f.Add("-t\t30")
+	f.Add("=leading")
+	f.Add("   ")
+	f.Fuzz(func(t *testing.T, d string) {
+		key, val := splitDirective(d)
+		if len(key)+len(val) > len(d) {
+			t.Fatalf("split grew input: %q -> %q + %q", d, key, val)
+		}
+		if key != "" && !strings.Contains(d, key) {
+			t.Fatalf("key %q not a substring of %q", key, d)
+		}
+		if val != "" && !strings.Contains(d, val) {
+			t.Fatalf("val %q not a substring of %q", val, d)
+		}
+	})
+}

@@ -31,7 +31,7 @@ func Series(intervals []Interval, t0, t1, step int64) []float64 {
 	n := int((t1 - t0 + step - 1) / step)
 	out := make([]float64, n)
 	for _, iv := range intervals {
-		if iv.End <= iv.Start || iv.BW == 0 { //prionnvet:ignore float-eq exact zero marks a no-IO interval, a sentinel not a computed value
+		if iv.End <= iv.Start || iv.BW == 0 {
 			continue
 		}
 		lo, hi := iv.Start, iv.End
@@ -145,7 +145,7 @@ func SeriesAccuracy(actual, pred []float64) []float64 {
 	}
 	out := make([]float64, 0, len(actual))
 	for i := range actual {
-		if actual[i] == 0 && pred[i] == 0 { //prionnvet:ignore float-eq exact zero means an idle bucket (sums of zero contributions), a sentinel
+		if actual[i] == 0 && pred[i] == 0 {
 			continue
 		}
 		out = append(out, metrics.RelativeAccuracy(actual[i], pred[i]))

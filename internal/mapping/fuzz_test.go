@@ -1,0 +1,88 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzStandardize hunts crop/pad edge cases: the grid must always be
+// exactly rows*cols, newline-free, and standardizing the rendered grid
+// again must be a fixed point (crop/pad is idempotent).
+func FuzzStandardize(f *testing.F) {
+	f.Add("#!/bin/bash\n#SBATCH -N 4\nsrun ./app\n", 16, 24)
+	f.Add("", 1, 1)
+	f.Add("one line longer than the grid width by far", 2, 8)
+	f.Add("a\tb\r\nc", 4, 4)
+	f.Fuzz(func(t *testing.T, script string, rows, cols int) {
+		// Dimensions come from model config, not user input; bound them
+		// to keep the fuzzer on the interesting text-handling paths.
+		rows, cols = rows&63, cols&63
+		g := Standardize(script, rows, cols)
+		if len(g.Chars) != rows*cols {
+			t.Fatalf("grid size %d, want %d*%d", len(g.Chars), rows, cols)
+		}
+		for i, c := range g.Chars {
+			if c == '\n' {
+				t.Fatalf("newline survived standardization at cell %d", i)
+			}
+		}
+		// Render the grid back to text; re-standardizing must not move a
+		// single byte.
+		lines := make([]string, rows)
+		for r := 0; r < rows; r++ {
+			lines[r] = string(g.Chars[r*cols : (r+1)*cols])
+		}
+		again := Standardize(strings.Join(lines, "\n"), rows, cols)
+		if string(again.Chars) != string(g.Chars) {
+			t.Fatalf("standardize is not idempotent:\n%q\nvs\n%q", g.Chars, again.Chars)
+		}
+	})
+}
+
+// FuzzMapScript checks the script→pixel-matrix invariants the models
+// rely on: binary pixels are 0/1, simple pixels sit in [0,1], and
+// one-hot positions have exactly one channel set.
+func FuzzMapScript(f *testing.F) {
+	f.Add("#!/bin/bash\nsrun ./app --steps 100\n")
+	f.Add("")
+	f.Add("\x00\x7f\x80\xffπ")
+	f.Fuzz(func(t *testing.T, script string) {
+		const rows, cols = 12, 16
+		n := rows * cols
+
+		bin := MapScript(script, Binary{}, rows, cols)
+		if len(bin.Data) != n {
+			t.Fatalf("binary tensor len %d, want %d", len(bin.Data), n)
+		}
+		for i, v := range bin.Data {
+			if v != 0 && v != 1 {
+				t.Fatalf("binary pixel %d = %v, want 0 or 1", i, v)
+			}
+		}
+
+		simple := MapScript(script, Simple{}, rows, cols)
+		for i, v := range simple.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("simple pixel %d = %v, out of [0,1]", i, v)
+			}
+		}
+
+		oh := MapScript(script, OneHot{}, rows, cols)
+		if len(oh.Data) != 128*n {
+			t.Fatalf("one-hot tensor len %d, want %d", len(oh.Data), 128*n)
+		}
+		for pos := 0; pos < n; pos++ {
+			var sum float32
+			for ch := 0; ch < 128; ch++ {
+				v := oh.Data[ch*n+pos]
+				if v != 0 && v != 1 {
+					t.Fatalf("one-hot value %v at ch %d pos %d", v, ch, pos)
+				}
+				sum += v
+			}
+			if sum != 1 {
+				t.Fatalf("one-hot position %d has %v channels set, want exactly 1", pos, sum)
+			}
+		}
+	})
+}

@@ -153,7 +153,7 @@ func (d *Dropout) Name() string { return "dropout" }
 
 // Forward implements Layer.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	if !train || d.P == 0 { //prionnvet:ignore float-eq exact zero disables dropout, a configured sentinel not a computed value
+	if !train || d.P == 0 {
 		d.mask = nil
 		return x
 	}

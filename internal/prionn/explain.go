@@ -81,7 +81,7 @@ func (p *Predictor) ExplainRuntime(script string) Saliency {
 func (s Saliency) TopCells(n int) []SalientCell {
 	cells := make([]SalientCell, 0, len(s.Weights))
 	for i, w := range s.Weights {
-		if w == 0 { //prionnvet:ignore float-eq exact zero skips padding cells with no attribution; near-zero weights must stay
+		if w == 0 {
 			continue
 		}
 		cells = append(cells, SalientCell{

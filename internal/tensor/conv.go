@@ -166,7 +166,7 @@ func matmulInto(dst, a, b *Tensor) {
 		ai := a.Data[i*k : (i+1)*k]
 		ci := dst.Data[i*n : (i+1)*n]
 		for p, av := range ai {
-			if av == 0 { //prionnvet:ignore float-eq exact-zero sparsity fast path; 0*x contributes exactly nothing to the axpy
+			if av == 0 {
 				continue
 			}
 			axpy(av, b.Data[p*n:(p+1)*n], ci)
@@ -225,7 +225,7 @@ func Conv2DBackward(dy, weights *Tensor, cols []*Tensor, dW, dB *Tensor, c, h, w
 				wRow := weights.Data[fi*colRows : (fi+1)*colRows]
 				dyRow := dyi.Data[fi*colW : (fi+1)*colW]
 				for r, wv := range wRow {
-					if wv == 0 { //prionnvet:ignore float-eq exact-zero sparsity fast path; 0*x contributes exactly nothing to the axpy
+					if wv == 0 {
 						continue
 					}
 					axpy(wv, dyRow, dcols.Data[r*colW:(r+1)*colW])

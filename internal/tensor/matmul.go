@@ -28,7 +28,7 @@ func MatMul(dst, a, b *Tensor) *Tensor {
 			ai := a.Data[i*k : (i+1)*k]
 			ci := dst.Data[i*n : (i+1)*n]
 			for p, av := range ai {
-				if av == 0 { //prionnvet:ignore float-eq exact-zero sparsity fast path; 0*x contributes exactly nothing to the axpy
+				if av == 0 {
 					continue
 				}
 				bp := b.Data[p*n : (p+1)*n]
@@ -82,7 +82,7 @@ func MatMulTransA(dst, a, b *Tensor) *Tensor {
 			bp := b.Data[p*n : (p+1)*n]
 			for i := lo; i < hi; i++ {
 				av := ap[i]
-				if av == 0 { //prionnvet:ignore float-eq exact-zero sparsity fast path; 0*x contributes exactly nothing to the axpy
+				if av == 0 {
 					continue
 				}
 				axpy(av, bp, dst.Data[i*n:(i+1)*n])

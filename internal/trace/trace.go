@@ -122,7 +122,7 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CancelFrac < 0 {
 		c.CancelFrac = 0
-	} else if c.CancelFrac == 0 { //prionnvet:ignore float-eq exact zero is the "unset, use default" sentinel
+	} else if c.CancelFrac == 0 {
 		c.CancelFrac = 0.10
 	}
 	if c.RuntimeScale <= 0 {

@@ -9,9 +9,10 @@
 #                      see DESIGN.md "Static analysis & reproducibility
 #                      gates" and cmd/prionnvet)
 #   5. go test        (tier-1 tests)
-#   6. go test -race  (the parallel kernels and scheduler under the race
-#                      detector, including the ParallelFor/SetMaxWorkers
-#                      hammer test)
+#   6. go test -race  (every package under the race detector, including
+#                      the ParallelFor/SetMaxWorkers hammer test)
+#   7. go test -fuzz  (short smoke run of each fuzz target: the mapping
+#                      crop/pad grid and the feature-directive parser)
 #
 # Exits nonzero on the first failure. No Makefile on purpose: this file
 # is the single committed description of the gate, invoked directly by
@@ -41,7 +42,16 @@ go run ./cmd/prionnvet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (tensor, sched, nn)"
-go test -race ./internal/tensor/... ./internal/sched/... ./internal/nn/...
+echo "== go test -race ./..."
+go test -race ./...
+
+# Fuzz smoke runs: a few seconds per target keeps the gate fast while
+# still exercising the engine-generated corpus. One package per
+# invocation — the fuzzer requires it.
+echo "== go test -fuzz (smoke)"
+go test -fuzz=FuzzStandardize -fuzztime=3s -run='^$' ./internal/mapping/
+go test -fuzz=FuzzMapScript -fuzztime=3s -run='^$' ./internal/mapping/
+go test -fuzz=FuzzExtract -fuzztime=3s -run='^$' ./internal/features/
+go test -fuzz=FuzzSplitDirective -fuzztime=3s -run='^$' ./internal/features/
 
 echo "all checks passed"
