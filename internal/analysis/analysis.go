@@ -79,6 +79,7 @@ func All() []Checker {
 		FloatEq{},
 		UncheckedErr{},
 		NakedGoroutine{},
+		BarePanicGoroutine{},
 		LoopCapture{},
 		MutablePkgVar{},
 		MapOrder{},

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BarePanicGoroutine flags detached goroutines with no recover guard in
+// non-test code. A goroutine that has no join in its spawning function
+// (and does not hand its join to the caller) outlives the spawner; if it
+// then panics there is no frame left to contain it and the whole process
+// dies — in this codebase that means the experiments harness or the
+// online-retraining deployment, not just one figure. Such a goroutine
+// must open with a deferred recover (the supervised-worker pattern
+// tensor.ParallelFor uses) or be joined.
+//
+// The checker is deliberately conservative: launches it cannot see into
+// (methods, functions from other packages) are skipped rather than
+// guessed at, and test files are exempt — a test goroutine crashing the
+// test binary is the desired loud failure.
+type BarePanicGoroutine struct{}
+
+func (BarePanicGoroutine) Name() string { return "bare-panic-goroutine" }
+func (BarePanicGoroutine) Doc() string {
+	return "flags unjoined goroutines without a deferred recover in non-test code"
+}
+
+func (c BarePanicGoroutine) Run(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		if isTestFile(p, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			joined := hasJoin(p, body)
+			for _, g := range directGoStmts(body) {
+				if joined || joinEscapes(p, g) {
+					// Bounded by a join: the spawner (or its caller)
+					// outlives the goroutine; naked-goroutine owns the
+					// unjoined-lifetime complaint.
+					continue
+				}
+				gb, known := launchedBody(p, g)
+				if !known {
+					continue // can't see the launched code; don't guess
+				}
+				if hasRecoverGuard(p, gb) {
+					continue
+				}
+				out = append(out, p.finding(c.Name(), g.Pos(),
+					"goroutine outlives its spawner and has no deferred recover; a panic here kills the whole process"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isTestFile reports whether the file is a _test.go file.
+func isTestFile(p *Pass, file *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// launchedBody resolves the body of the function a go statement
+// launches: a function literal directly, or a same-package function
+// declaration. known is false when the target cannot be resolved to
+// source in this package (method value, other package, interface call).
+func launchedBody(p *Pass, g *ast.GoStmt) (*ast.BlockStmt, bool) {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, true
+	case *ast.Ident:
+		fn, ok := p.Info.Uses[fun].(*types.Func)
+		if !ok {
+			return nil, false
+		}
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil {
+					continue
+				}
+				if p.Info.Defs[fd.Name] == fn {
+					return fd.Body, fd.Body != nil
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// hasRecoverGuard reports whether the launched function body installs a
+// deferred recover at some point along its top frame. Defers inside
+// nested (non-deferred) function literals guard those literals' frames,
+// not the goroutine's, and do not count.
+func hasRecoverGuard(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if callsRecover(p, s.Call) {
+				found = true
+			}
+			return false
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// callsRecover reports whether the deferred call is, or visibly
+// contains, a call to the recover builtin.
+func callsRecover(p *Pass, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := c.Fun.(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

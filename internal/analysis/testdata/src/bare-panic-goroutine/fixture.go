@@ -1,0 +1,90 @@
+package fixture
+
+import "sync"
+
+// Detached launch of a closure with no recover: a panic inside kills
+// the process.
+func detachedBare() {
+	go func() { // want "no deferred recover"
+		work()
+	}()
+}
+
+// Detached launch of a same-package named function with no recover.
+func detachedNamed() {
+	go work() // want "no deferred recover"
+}
+
+// Detached, but the goroutine opens with a deferred recover — the
+// supervised-worker pattern.
+func detachedGuarded() {
+	go func() { // ok: deferred recover guards the frame
+		defer func() {
+			_ = recover()
+		}()
+		work()
+	}()
+}
+
+// Detached named function whose declaration carries the guard.
+func detachedGuardedNamed() {
+	go guardedWork() // ok: guardedWork defers a recover
+}
+
+// A recover deferred later in the body still guards the goroutine's top
+// frame.
+func guardLaterInBody() {
+	go func() { // ok: recover deferred mid-body
+		work()
+		defer func() { recover() }()
+		work()
+	}()
+}
+
+// A recover inside a nested, non-deferred closure guards that closure's
+// frame, not the goroutine's.
+func nestedGuardDoesNotCount() {
+	go func() { // want "no deferred recover"
+		inner := func() {
+			defer func() { _ = recover() }()
+			work()
+		}
+		inner()
+	}()
+}
+
+// Joined goroutines are out of scope: they do not outlive the spawner
+// (and naked-goroutine owns unjoined-lifetime findings).
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ok: joined below
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Join handed to the caller via a WaitGroup parameter is also bounded.
+func callerJoins(wg *sync.WaitGroup) {
+	go func() { // ok: caller Waits on the parameter
+		defer wg.Done()
+		work()
+	}()
+}
+
+// A launch the checker cannot see into is skipped, not guessed at.
+func unresolvable(f func()) {
+	go f() // ok: opaque target
+}
+
+func work() {}
+
+func guardedWork() {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = r
+		}
+	}()
+	work()
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -41,6 +42,26 @@ type Options struct {
 	BurnIn float64
 	// Progress, when non-nil, receives coarse progress lines.
 	Progress func(string)
+	// ctx carries the run's cancellation signal; nil means Background.
+	// Set it through WithContext so a zero Options stays valid.
+	ctx context.Context
+}
+
+// WithContext returns a copy of o carrying ctx. The context reaches the
+// online-training loop and the scheduler simulator, both of which poll
+// it at submission granularity, so canceling it stops a figure within
+// one minibatch.
+func (o Options) WithContext(ctx context.Context) Options {
+	o.ctx = ctx
+	return o
+}
+
+// Context returns the run's context, defaulting to Background.
+func (o Options) Context() context.Context {
+	if o.ctx == nil {
+		return context.Background()
+	}
+	return o.ctx
 }
 
 func (o Options) withDefaults() Options {
@@ -163,7 +184,7 @@ func (p JobPred) WriteBW() float64 {
 
 // runPRIONN executes PRIONN's online loop over the trace.
 func runPRIONN(jobs []trace.Job, cfg prionn.Config, o Options) ([]JobPred, error) {
-	recs, err := prionn.RunOnline(jobs, cfg, func(done, total int) {
+	recs, err := prionn.RunOnlineCtx(o.Context(), jobs, cfg, func(done, total int) {
 		o.progress("prionn online: %d/%d submissions", done, total)
 	})
 	if err != nil {

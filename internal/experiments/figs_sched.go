@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -72,14 +73,14 @@ func Fig11(o Options) (Result, error) {
 			if !p.OK {
 				return userRuntime(id)
 			}
-			return int64(p.RuntimeMin) * 60
+			return sched.SanitizePredictedSec(float64(p.RuntimeMin)*60, int64(p.Job.RequestedMin)*60)
 		}
 		simCfg := sched.SimConfig{Nodes: o.Nodes, Backfill: true}
-		ur, err := sched.PredictTurnarounds(items, simCfg, userRuntime)
+		ur, err := sched.PredictTurnaroundsCtx(o.Context(), items, simCfg, userRuntime)
 		if err != nil {
 			return Result{}, err
 		}
-		pr, err := sched.PredictTurnarounds(items, simCfg, prionnRuntime)
+		pr, err := sched.PredictTurnaroundsCtx(o.Context(), items, simCfg, prionnRuntime)
 		if err != nil {
 			return Result{}, err
 		}
@@ -119,6 +120,17 @@ func Fig11(o Options) (Result, error) {
 	return res, nil
 }
 
+// sanitizeBW clamps a derived bandwidth before it enters an IO series:
+// a NaN, Inf, or negative value (degenerate predicted bytes divided by a
+// degenerate predicted runtime) would poison every downstream bucket sum
+// and burst threshold.
+func sanitizeBW(bw float64) float64 {
+	if math.IsNaN(bw) || math.IsInf(bw, 0) || bw < 0 {
+		return 0
+	}
+	return bw
+}
+
 // ioSeriesPair builds actual and predicted system-IO series (one-minute
 // buckets) from placements and per-job predictions. When usePredPlace is
 // true, predicted intervals come from the snapshot placements (Figs.
@@ -146,7 +158,7 @@ func ioSeriesPair(
 		p := byID[id]
 		j := p.Job
 		actualIvs = append(actualIvs, ioaware.Interval{
-			Start: pl.Start, End: pl.End, BW: j.ReadBW() + j.WriteBW(),
+			Start: pl.Start, End: pl.End, BW: sanitizeBW(j.ReadBW() + j.WriteBW()),
 		})
 		pp := pl
 		if usePredPlace {
@@ -157,7 +169,7 @@ func ioSeriesPair(
 			}
 		}
 		predIvs = append(predIvs, ioaware.Interval{
-			Start: pp.Start, End: pp.End, BW: p.ReadBW() + p.WriteBW(),
+			Start: pp.Start, End: pp.End, BW: sanitizeBW(p.ReadBW() + p.WriteBW()),
 		})
 		for _, b := range []int64{pl.Start, pp.Start} {
 			if first || b < t0 {
@@ -230,7 +242,7 @@ func systemIO(o Options, perfect bool) (accSummary metrics.Summary, sweeps []met
 		}
 		simCfg := sched.SimConfig{Nodes: o.Nodes, Backfill: true}
 
-		real, err := sched.Schedule(items, simCfg)
+		real, err := sched.ScheduleCtx(o.Context(), items, simCfg)
 		if err != nil {
 			return metrics.Summary{}, nil, err
 		}
@@ -241,9 +253,9 @@ func systemIO(o Options, perfect bool) (accSummary metrics.Summary, sweeps []met
 				if !p.OK {
 					return int64(p.Job.RequestedMin) * 60
 				}
-				return int64(p.RuntimeMin) * 60
+				return sched.SanitizePredictedSec(float64(p.RuntimeMin)*60, int64(p.Job.RequestedMin)*60)
 			}
-			results, err := sched.PredictTurnarounds(items, simCfg, prionnRuntime)
+			results, err := sched.PredictTurnaroundsCtx(o.Context(), items, simCfg, prionnRuntime)
 			if err != nil {
 				return metrics.Summary{}, nil, err
 			}

@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
+	"strings"
+
+	"prionn/internal/fault"
 )
 
 // Runner executes one experiment.
@@ -45,16 +50,52 @@ func IDs() []string {
 func Lookup(id string) (Runner, error) {
 	r, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+		return nil, fmt.Errorf("experiments: unknown id %q — valid ids are: %s", id, strings.Join(IDs(), ", "))
 	}
 	return r, nil
 }
 
+// PanicError reports a panic captured while a figure ran. One
+// misbehaving runner must not take down the whole report; the harness
+// converts its panic into this error and moves on to the next figure.
+type PanicError struct {
+	ID    string
+	Value interface{}
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiments: figure %s panicked: %v", e.ID, e.Value)
+}
+
+// FailpointFigure is the failpoint name for one figure; arming it (see
+// internal/fault) forces that figure to fail with an error or a panic,
+// which is how the degraded-report path is exercised end to end.
+func FailpointFigure(id string) string { return "experiments/" + id }
+
 // Run executes one experiment by ID.
 func Run(id string, o Options) (Result, error) {
-	r, err := Lookup(id)
-	if err != nil {
-		return Result{}, err
+	return RunCtx(context.Background(), id, o)
+}
+
+// RunCtx executes one experiment by ID with cooperative cancellation:
+// ctx flows through Options into the online-training loop and the
+// scheduler simulator, which poll it at submission granularity. A panic
+// anywhere inside the runner is captured and returned as a *PanicError
+// instead of crashing the process.
+func RunCtx(ctx context.Context, id string, o Options) (res Result, err error) {
+	r, lerr := Lookup(id)
+	if lerr != nil {
+		return Result{}, lerr
 	}
-	return r(o)
+	defer func() {
+		if rec := recover(); rec != nil {
+			res = Result{}
+			err = &PanicError{ID: id, Value: rec, Stack: string(debug.Stack())}
+		}
+	}()
+	if ferr := fault.Here(FailpointFigure(id)); ferr != nil {
+		return Result{}, fmt.Errorf("%s: %w", id, ferr)
+	}
+	return r(o.WithContext(ctx))
 }

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"prionn/internal/fault"
+)
+
+// TestLookupUnknownListsValidIDs asserts the unknown-id error names
+// every registered figure, so a typo on the CLI is self-correcting.
+func TestLookupUnknownListsValidIDs(t *testing.T) {
+	_, err := Lookup("fig999")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("error %q does not mention valid id %q", err, id)
+		}
+	}
+}
+
+// TestRunCtxRecoversPanic asserts a panicking figure surfaces as a
+// *PanicError carrying the figure ID and a stack, not a process crash.
+func TestRunCtxRecoversPanic(t *testing.T) {
+	disarm := fault.Arm(FailpointFigure("fig3"), fault.Failure{Panic: true})
+	defer disarm()
+	_, err := RunCtx(context.Background(), "fig3", tinyOptions())
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.ID != "fig3" || pe.Stack == "" {
+		t.Fatalf("panic error lacks context: %+v", pe)
+	}
+}
+
+// TestRunCtxInjectedError asserts an armed error failpoint fails only
+// the targeted figure.
+func TestRunCtxInjectedError(t *testing.T) {
+	disarm := fault.Arm(FailpointFigure("fig4"), fault.Failure{})
+	defer disarm()
+	if _, err := RunCtx(context.Background(), "fig4", tinyOptions()); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("got %v, want injected error", err)
+	}
+	if _, err := RunCtx(context.Background(), "fig3", tinyOptions()); err != nil {
+		t.Fatalf("uninjected figure failed: %v", err)
+	}
+}
+
+// TestRunCtxCancellation asserts a canceled context aborts a figure that
+// drives the online-training loop.
+func TestRunCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, "fig8", tinyOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Failpoints are named crash points compiled into non-hot paths: code
+// calls Here("site") and, when a test or the experiments CLI has armed
+// that site, the call returns an error or panics. Disarmed sites cost
+// one atomic load, so failpoints can stay in production code paths
+// (per-figure runs, per-training-event checkpoints) without a build tag.
+
+// Failure describes what an armed failpoint does when reached.
+type Failure struct {
+	// Err is returned by Here. Defaults to ErrInjected when nil and
+	// Panic is false.
+	Err error
+	// Panic makes Here panic instead of returning an error — the
+	// worker-crash case the harness's panic isolation must contain.
+	Panic bool
+	// After skips the first After hits before firing, so a test can
+	// interrupt the Nth checkpoint or the Nth retraining event. 0 fires
+	// on the first hit.
+	After int
+}
+
+var (
+	// armedCount lets Here skip the registry lock entirely while nothing
+	// is armed — the common case outside tests.
+	armedCount atomic.Int64
+
+	fpMu     sync.Mutex
+	failSite = map[string]*Failure{}
+)
+
+// Arm installs a failure at the named site and returns a disarm
+// function. Re-arming a site replaces its failure.
+func Arm(name string, f Failure) (disarm func()) {
+	fpMu.Lock()
+	if _, exists := failSite[name]; !exists {
+		armedCount.Add(1)
+	}
+	fc := f
+	failSite[name] = &fc
+	fpMu.Unlock()
+	return func() { Disarm(name) }
+}
+
+// Disarm removes the failure at the named site, if armed.
+func Disarm(name string) {
+	fpMu.Lock()
+	if _, exists := failSite[name]; exists {
+		delete(failSite, name)
+		armedCount.Add(-1)
+	}
+	fpMu.Unlock()
+}
+
+// DisarmAll removes every armed failpoint.
+func DisarmAll() {
+	fpMu.Lock()
+	for name := range failSite {
+		delete(failSite, name)
+		armedCount.Add(-1)
+	}
+	fpMu.Unlock()
+}
+
+// Here is a failpoint site. It returns nil (cheaply) unless the named
+// site is armed, in which case it returns the armed error or panics.
+func Here(name string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	fpMu.Lock()
+	f := failSite[name]
+	var fire Failure
+	hit := false
+	if f != nil {
+		if f.After > 0 {
+			f.After--
+		} else {
+			fire, hit = *f, true
+		}
+	}
+	fpMu.Unlock()
+	if !hit {
+		return nil
+	}
+	if fire.Panic {
+		panic(fmt.Sprintf("fault: failpoint %q armed to panic", name))
+	}
+	if fire.Err != nil {
+		return fire.Err
+	}
+	return fmt.Errorf("%w at failpoint %q", ErrInjected, name)
+}

@@ -1,0 +1,238 @@
+// Package fault is the deterministic fault-injection substrate for the
+// PRIONN reproduction's robustness layer. A production deployment of the
+// paper's tool (§2.3 runs it persistently on a dedicated node) must
+// survive partial failures — a kill mid-checkpoint, a full disk, a
+// flaky fsync — and the only way to *prove* that is to inject every such
+// failure on demand, deterministically, in tests.
+//
+// The package has two halves:
+//
+//   - An injectable file-operation layer (FS / File, see fs.go): code
+//     that persists state writes through an FS value instead of calling
+//     the os package directly. The OS implementation is a thin
+//     pass-through; the Injector implementation executes a seeded or
+//     explicit schedule of failures — fail the Nth write, write short,
+//     fail fsync/rename/close, or simulate a crash (every subsequent
+//     operation fails, so error-path cleanup cannot run, exactly as if
+//     the process had died at that instant).
+//
+//   - Named failpoints (see failpoint.go): `fault.Here("site")` sites
+//     compiled into non-hot paths that tests and the experiments CLI arm
+//     to force an error or a panic at a precise point.
+//
+// Everything is deterministic: an Injector executes a fixed schedule
+// (optionally generated from a seed), never the wall clock or global
+// randomness, so a failing crash-matrix case replays exactly.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Op identifies one injectable file-operation kind.
+type Op string
+
+// The injectable operation kinds. OpWrite covers every File.Write call;
+// the remaining ops fire once per corresponding FS/File method call.
+const (
+	OpCreate  Op = "create"
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpClose   Op = "close"
+	OpRename  Op = "rename"
+	OpRemove  Op = "remove"
+	OpSyncDir Op = "syncdir"
+)
+
+// Ops lists every injectable operation kind in stable order.
+func Ops() []Op {
+	return []Op{OpCreate, OpWrite, OpSync, OpClose, OpRename, OpRemove, OpSyncDir}
+}
+
+// Mode selects how an armed fault manifests.
+type Mode int
+
+const (
+	// ModeError makes the operation fail with ErrInjected (or the
+	// fault's Err) after performing no work.
+	ModeError Mode = iota
+	// ModeShortWrite (OpWrite only) writes the first Keep bytes to the
+	// underlying file, then fails. This is the torn-write case a real
+	// kernel produces when the process dies between write and fsync.
+	ModeShortWrite
+	// ModeCrash fails the operation and latches the injector into a
+	// crashed state: every subsequent operation fails with ErrCrash.
+	// Cleanup paths (remove-temp-on-error) therefore cannot run, which
+	// is exactly the on-disk state a process kill leaves behind.
+	ModeCrash
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeShortWrite:
+		return "short-write"
+	case ModeCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ErrInjected is the default error returned by injected operation
+// failures.
+var ErrInjected = errors.New("fault: injected failure")
+
+// ErrCrash is returned by every operation after a ModeCrash fault fires
+// (and by the crash fault itself).
+var ErrCrash = errors.New("fault: simulated crash")
+
+// Fault is one scheduled failure: the Nth occurrence (1-based) of Op
+// fails in the given Mode.
+type Fault struct {
+	Op   Op
+	Nth  int  // 1-based occurrence of Op that fails
+	Mode Mode // how the failure manifests
+	Keep int  // ModeShortWrite: bytes actually written before the failure
+	Err  error
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s#%d:%s", f.Op, f.Nth, f.Mode)
+}
+
+func (f Fault) err() error {
+	switch {
+	case f.Mode == ModeCrash:
+		return ErrCrash
+	case f.Err != nil:
+		return f.Err
+	default:
+		return ErrInjected
+	}
+}
+
+// Injector executes a deterministic fault schedule. The zero value is an
+// injector with no faults (all operations succeed); it is safe for
+// concurrent use.
+type Injector struct {
+	mu      sync.Mutex
+	faults  []Fault
+	counts  map[Op]int
+	crashed bool
+	fired   []Fault
+}
+
+// NewInjector returns an injector armed with the given schedule.
+func NewInjector(faults ...Fault) *Injector {
+	return &Injector{faults: faults}
+}
+
+// NewSeededInjector derives a schedule pseudo-randomly from seed: each
+// of n faults picks an operation kind, an occurrence in [1, maxNth], and
+// a mode. The same seed always yields the same schedule, so a failing
+// robustness test names its seed and replays exactly.
+func NewSeededInjector(seed int64, n, maxNth int) *Injector {
+	rng := rand.New(rand.NewSource(seed))
+	ops := Ops()
+	modes := []Mode{ModeError, ModeShortWrite, ModeCrash}
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		f := Fault{
+			Op:   ops[rng.Intn(len(ops))],
+			Nth:  1 + rng.Intn(maxNth),
+			Mode: modes[rng.Intn(len(modes))],
+		}
+		if f.Mode == ModeShortWrite {
+			f.Op = OpWrite
+			f.Keep = rng.Intn(16)
+		}
+		faults = append(faults, f)
+	}
+	return NewInjector(faults...)
+}
+
+// check records one occurrence of op and returns the fault that fires at
+// it, if any. The second return is false when the operation should
+// proceed normally.
+func (in *Injector) check(op Op) (Fault, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return Fault{Op: op, Mode: ModeCrash}, true
+	}
+	if in.counts == nil {
+		in.counts = map[Op]int{}
+	}
+	in.counts[op]++
+	n := in.counts[op]
+	for _, f := range in.faults {
+		if f.Op == op && f.Nth == n {
+			if f.Mode == ModeCrash {
+				in.crashed = true
+			}
+			in.fired = append(in.fired, f)
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+// Crashed reports whether a ModeCrash fault has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Fired returns the faults that have fired so far, in firing order.
+func (in *Injector) Fired() []Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault(nil), in.fired...)
+}
+
+// Counts returns the number of occurrences seen per operation kind, in
+// stable Op order. Running a workload under an empty Injector and
+// reading Counts is how the crash-matrix test discovers every injectable
+// fault point before enumerating them.
+func (in *Injector) Counts() map[Op]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Op]int, len(in.counts))
+	for op, n := range in.counts {
+		out[op] = n
+	}
+	return out
+}
+
+// Points enumerates every (op, nth) pair observed by a counting run as
+// explicit fault specs, one per mode in modes — the full crash matrix
+// for a workload. Order is deterministic (ops in Ops() order, then nth).
+func Points(counts map[Op]int, modes ...Mode) []Fault {
+	if len(modes) == 0 {
+		modes = []Mode{ModeError, ModeCrash}
+	}
+	ops := make([]Op, 0, len(counts))
+	for op := range counts {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	var out []Fault
+	for _, op := range ops {
+		for nth := 1; nth <= counts[op]; nth++ {
+			for _, m := range modes {
+				f := Fault{Op: op, Nth: nth, Mode: m}
+				if m == ModeShortWrite && op != OpWrite {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}

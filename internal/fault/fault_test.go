@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestInjectorFailNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(Fault{Op: OpWrite, Nth: 2, Mode: ModeError})
+	fsys := NewInjectFS(OS{}, inj)
+	f, err := fsys.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aa")); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("bb")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write: got %v, want ErrInjected", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Fired(); len(got) != 1 || got[0].Op != OpWrite {
+		t.Fatalf("fired = %v", got)
+	}
+}
+
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	inj := NewInjector(Fault{Op: OpWrite, Nth: 1, Mode: ModeShortWrite, Keep: 3})
+	fsys := NewInjectFS(OS{}, inj)
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "abc" {
+		t.Fatalf("on-disk bytes %q, want torn prefix \"abc\"", b)
+	}
+}
+
+func TestInjectorCrashLatches(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(Fault{Op: OpSync, Nth: 1, Mode: ModeCrash})
+	fsys := NewInjectFS(OS{}, inj)
+	f, err := fsys.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrash) {
+		t.Fatalf("sync: got %v, want ErrCrash", err)
+	}
+	// Post-crash, every operation fails: cleanup cannot run.
+	if err := fsys.Remove(filepath.Join(dir, "x")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("remove after crash: got %v, want ErrCrash", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector did not latch crashed state")
+	}
+}
+
+func TestCountsAndPoints(t *testing.T) {
+	dir := t.TempDir()
+	inj := &Injector{}
+	fsys := NewInjectFS(OS{}, inj)
+	f, err := fsys.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	counts := inj.Counts()
+	if counts[OpCreate] != 1 || counts[OpWrite] != 3 || counts[OpClose] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	pts := Points(counts, ModeError)
+	if len(pts) != 5 { // 1 create + 3 writes + 1 close
+		t.Fatalf("points = %v", pts)
+	}
+	// Determinism: the same counts always enumerate the same matrix.
+	pts2 := Points(counts, ModeError)
+	for i := range pts {
+		if pts[i] != pts2[i] {
+			t.Fatalf("points not deterministic: %v vs %v", pts[i], pts2[i])
+		}
+	}
+}
+
+func TestSeededInjectorDeterministic(t *testing.T) {
+	a := NewSeededInjector(7, 5, 4)
+	b := NewSeededInjector(7, 5, 4)
+	if len(a.faults) != len(b.faults) {
+		t.Fatal("seeded schedules differ in length")
+	}
+	for i := range a.faults {
+		if a.faults[i] != b.faults[i] {
+			t.Fatalf("seeded schedule differs at %d: %v vs %v", i, a.faults[i], b.faults[i])
+		}
+	}
+}
+
+func TestFailpointDisarmedIsFree(t *testing.T) {
+	if err := Here("nothing/armed"); err != nil {
+		t.Fatalf("disarmed failpoint fired: %v", err)
+	}
+}
+
+func TestFailpointError(t *testing.T) {
+	sentinel := errors.New("boom")
+	disarm := Arm("site/a", Failure{Err: sentinel})
+	defer disarm()
+	if err := Here("site/a"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	if err := Here("site/other"); err != nil {
+		t.Fatalf("unarmed sibling fired: %v", err)
+	}
+	disarm()
+	if err := Here("site/a"); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+}
+
+func TestFailpointAfter(t *testing.T) {
+	defer DisarmAll()
+	Arm("site/after", Failure{After: 2})
+	for i := 0; i < 2; i++ {
+		if err := Here("site/after"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := Here("site/after"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third hit: got %v, want ErrInjected", err)
+	}
+}
+
+func TestFailpointPanic(t *testing.T) {
+	defer DisarmAll()
+	Arm("site/panic", Failure{Panic: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("armed panic failpoint did not panic")
+		}
+	}()
+	_ = Here("site/panic")
+}

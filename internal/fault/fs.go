@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the injectable file-operation layer used by crash-safe writers
+// (prionn.SaveFile and the training checkpoints). Only the operations a
+// write-temp → fsync → atomic-rename sequence needs are modeled; reads
+// stay on the plain os package because a reader cannot corrupt state.
+type FS interface {
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory so a completed rename survives a power
+	// cut. Implementations may degrade to a no-op where directory
+	// handles cannot be synced.
+	SyncDir(dir string) error
+}
+
+// File is the writable half of FS, mirroring the *os.File subset the
+// persistence layer uses.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OS is the pass-through FS backed by the real os package.
+type OS struct{}
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS by opening the directory and fsyncing its
+// handle.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // the sync error is the interesting one
+		return err
+	}
+	return d.Close()
+}
+
+// InjectFS wraps an FS with an Injector: every operation first consults
+// the injector's schedule and fails (or writes short, or "crashes")
+// when a fault fires. Operations that proceed hit the underlying FS, so
+// the on-disk state after an injected failure is exactly what a real
+// partial failure leaves behind.
+type InjectFS struct {
+	Under FS
+	Inj   *Injector
+}
+
+// NewInjectFS wraps under with the injector's schedule.
+func NewInjectFS(under FS, inj *Injector) *InjectFS {
+	return &InjectFS{Under: under, Inj: inj}
+}
+
+// Create implements FS.
+func (f *InjectFS) Create(name string) (File, error) {
+	if flt, ok := f.Inj.check(OpCreate); ok {
+		return nil, flt.err()
+	}
+	file, err := f.Under.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{under: file, inj: f.Inj}, nil
+}
+
+// Rename implements FS.
+func (f *InjectFS) Rename(oldpath, newpath string) error {
+	if flt, ok := f.Inj.check(OpRename); ok {
+		return flt.err()
+	}
+	return f.Under.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *InjectFS) Remove(name string) error {
+	if flt, ok := f.Inj.check(OpRemove); ok {
+		return flt.err()
+	}
+	return f.Under.Remove(name)
+}
+
+// SyncDir implements FS.
+func (f *InjectFS) SyncDir(dir string) error {
+	if flt, ok := f.Inj.check(OpSyncDir); ok {
+		return flt.err()
+	}
+	return f.Under.SyncDir(dir)
+}
+
+// injectFile applies the injector to per-file operations.
+type injectFile struct {
+	under File
+	inj   *Injector
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	if flt, ok := f.inj.check(OpWrite); ok {
+		if flt.Mode == ModeShortWrite && flt.Keep > 0 {
+			keep := flt.Keep
+			if keep > len(p) {
+				keep = len(p)
+			}
+			n, err := f.under.Write(p[:keep])
+			if err != nil {
+				return n, err
+			}
+			return n, flt.err()
+		}
+		return 0, flt.err()
+	}
+	return f.under.Write(p)
+}
+
+func (f *injectFile) Sync() error {
+	if flt, ok := f.inj.check(OpSync); ok {
+		return flt.err()
+	}
+	return f.under.Sync()
+}
+
+func (f *injectFile) Close() error {
+	if flt, ok := f.inj.check(OpClose); ok {
+		// The underlying descriptor is still closed: a failed close has
+		// released the fd on every mainstream kernel, and leaking fds
+		// across thousands of crash-matrix cases would exhaust the
+		// process limit.
+		_ = f.under.Close()
+		return flt.err()
+	}
+	return f.under.Close()
+}

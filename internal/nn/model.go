@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -58,22 +59,50 @@ func (m *Sequential) collect() (params, grads []*tensor.Tensor) {
 	return params, grads
 }
 
-// FitOptions configures Sequential.Fit.
+// Params returns the trainable parameter tensors in stable (layer)
+// order — the order Save/Load and StatefulOptimizer snapshots use.
+func (m *Sequential) Params() []*tensor.Tensor {
+	params, _ := m.collect()
+	return params
+}
+
+// FitOptions configures Sequential.Fit / FitCtx.
 type FitOptions struct {
 	Epochs    int
 	BatchSize int
 	Shuffle   *rand.Rand // nil disables shuffling
 	// Verbose receives one line per epoch when non-nil.
 	Verbose func(epoch int, loss float64)
+	// StartEpoch resumes a previously interrupted fit: epochs before it
+	// replay only their shuffle draws (reproducing both the permutation
+	// and the RNG state of the uninterrupted run, since the draw
+	// sequence depends only on n and the epoch count) and skip all
+	// gradient work. Parameters and optimizer state for the completed
+	// epochs must have been restored by the caller.
+	StartEpoch int
+	// AfterEpoch, when non-nil, runs after every completed epoch —
+	// the checkpoint hook. A non-nil return aborts the fit with that
+	// error; the epochs already run remain applied.
+	AfterEpoch func(epoch int, loss float64) error
 }
 
 // Fit trains the model on a dataset of stacked samples x [N, ...] with
 // labels, iterating epochs × minibatches, and returns the final epoch's
-// mean loss.
+// mean loss. It is FitCtx without cancellation; any AfterEpoch error is
+// dropped, so checkpointing callers should use FitCtx.
 func (m *Sequential) Fit(x *tensor.Tensor, labels []int, opt Optimizer, o FitOptions) float64 {
+	loss, _ := m.FitCtx(context.Background(), x, labels, opt, o)
+	return loss
+}
+
+// FitCtx is Fit with cooperative cancellation and resume support. The
+// context is polled between minibatches, so a canceled training event
+// returns within one batch; the error is ctx.Err() on cancellation or
+// the first AfterEpoch error.
+func (m *Sequential) FitCtx(ctx context.Context, x *tensor.Tensor, labels []int, opt Optimizer, o FitOptions) (float64, error) {
 	n := x.Dim(0)
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d samples but %d labels", n, len(labels)))
@@ -96,9 +125,15 @@ func (m *Sequential) Fit(x *tensor.Tensor, labels []int, opt Optimizer, o FitOpt
 		if o.Shuffle != nil {
 			o.Shuffle.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}
+		if e < o.StartEpoch {
+			continue // replayed epoch: shuffle consumed, no gradient work
+		}
 		var total float64
 		batches := 0
 		for start := 0; start < n; start += o.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return epochLoss, err
+			}
 			end := start + o.BatchSize
 			if end > n {
 				end = n
@@ -124,8 +159,13 @@ func (m *Sequential) Fit(x *tensor.Tensor, labels []int, opt Optimizer, o FitOpt
 		if o.Verbose != nil {
 			o.Verbose(e, epochLoss)
 		}
+		if o.AfterEpoch != nil {
+			if err := o.AfterEpoch(e, epochLoss); err != nil {
+				return epochLoss, err
+			}
+		}
 	}
-	return epochLoss
+	return epochLoss, nil
 }
 
 // Predict returns the logits for a batch without touching train-time

@@ -1,6 +1,9 @@
 package nn
 
 import (
+	"encoding/gob"
+	"fmt"
+	"io"
 	"math"
 
 	"prionn/internal/tensor"
@@ -107,4 +110,69 @@ func (a *Adam) Step(params, grads []*tensor.Tensor) {
 func (a *Adam) Reset() {
 	a.states = make(map[*tensor.Tensor]*adamState)
 	a.t = 0
+}
+
+// StatefulOptimizer is an optimizer whose accumulated state can be
+// checkpointed. Both methods take the parameter list the state is keyed
+// by (in Sequential.Params order), because the in-memory state maps are
+// keyed by tensor identity, which does not survive a process restart.
+type StatefulOptimizer interface {
+	Optimizer
+	SaveState(params []*tensor.Tensor, w io.Writer) error
+	LoadState(params []*tensor.Tensor, r io.Reader) error
+}
+
+// adamSnapshot is the gob wire format for Adam state. Moments are stored
+// in parameter order; Present marks parameters that have been stepped at
+// least once (all of them, in practice, after the first Step).
+type adamSnapshot struct {
+	T       int
+	Present []bool
+	M, V    [][]float32
+}
+
+// SaveState writes the Adam moment estimates and step counter for the
+// given parameters. Resuming an interrupted training event bitwise-
+// identically requires this state: restarting Adam from zero moments
+// takes different steps than the uninterrupted run.
+func (a *Adam) SaveState(params []*tensor.Tensor, w io.Writer) error {
+	s := adamSnapshot{T: a.t}
+	for _, p := range params {
+		st, ok := a.states[p]
+		s.Present = append(s.Present, ok)
+		if ok {
+			s.M = append(s.M, st.m.Data)
+			s.V = append(s.V, st.v.Data)
+		} else {
+			s.M = append(s.M, nil)
+			s.V = append(s.V, nil)
+		}
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// LoadState restores state saved by SaveState, re-keying it onto params.
+func (a *Adam) LoadState(params []*tensor.Tensor, r io.Reader) error {
+	var s adamSnapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return err
+	}
+	if len(s.Present) != len(params) {
+		return fmt.Errorf("nn: optimizer snapshot has %d parameter states, model has %d", len(s.Present), len(params))
+	}
+	a.Reset()
+	a.t = s.T
+	for i, p := range params {
+		if !s.Present[i] {
+			continue
+		}
+		if len(s.M[i]) != p.Len() || len(s.V[i]) != p.Len() {
+			return fmt.Errorf("nn: optimizer state %d size mismatch: snapshot %d vs param %d", i, len(s.M[i]), p.Len())
+		}
+		st := &adamState{m: tensor.New(p.Shape...), v: tensor.New(p.Shape...)}
+		copy(st.m.Data, s.M[i])
+		copy(st.v.Data, s.V[i])
+		a.states[p] = st
+	}
+	return nil
 }

@@ -1,0 +1,237 @@
+package prionn
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"prionn/internal/fault"
+	"prionn/internal/nn"
+	"prionn/internal/trace"
+)
+
+// Epoch-granularity checkpoint/resume for training events. A training
+// event fits each head (runtime, read, write, power) for E epochs in
+// sequence; TrainCheckpointed writes a crash-safe checkpoint after every
+// epoch of every head, and ResumeTrain continues an interrupted event
+// from its last checkpoint such that the resumed run produces a model
+// bitwise-identical to an uninterrupted same-seed run.
+//
+// Bitwise identity rests on three pieces of state the checkpoint
+// carries or reconstructs exactly:
+//
+//   - model parameters and Adam moment estimates (serialized — an
+//     optimizer restarted from zero moments takes different steps);
+//   - the minibatch shuffle RNG: each (event, head) pair draws from its
+//     own rand.Rand seeded by eventSeed(Config.Seed, event, head), and
+//     nn.FitOptions.StartEpoch replays the completed epochs' shuffle
+//     draws on resume, reproducing both the permutation sequence and
+//     the RNG state;
+//   - the event counter, persisted with the model, which keeps later
+//     events' seeds aligned after a restart.
+
+// trainCheckpoint is the gob wire format of a mid-event checkpoint: the
+// full predictor state plus the resume position within the event.
+type trainCheckpoint struct {
+	Predictor []byte // framed Save() bytes
+	Head      int    // heads before this one are fully fitted this event
+	Epoch     int    // epochs of head Head completed
+	// RuntimeLoss is the runtime head's final-epoch mean loss, once head
+	// 0 has finished, so a resumed event still reports it.
+	RuntimeLoss float64
+	// Window is the training-window length, a cheap guard against
+	// resuming with a different job window than the interrupted run.
+	Window int
+}
+
+// resumePos locates where within a training event to resume.
+type resumePos struct {
+	head        int
+	epoch       int
+	runtimeLoss float64
+}
+
+// FailpointTrainCheckpoint is the failpoint name fired after each
+// checkpoint write; robustness tests arm it to interrupt training at a
+// chosen epoch.
+const FailpointTrainCheckpoint = "prionn/train/checkpoint"
+
+// TrainCheckpointed runs one training event like TrainCtx, writing a
+// crash-safe checkpoint to path after every completed epoch of every
+// head (and a final one when the event completes). If the process dies
+// at any point, ResumeTrain picks the event back up from path.
+func (p *Predictor) TrainCheckpointed(ctx context.Context, jobs []trace.Job, path string) (float64, error) {
+	if path == "" {
+		return 0, fmt.Errorf("prionn: empty checkpoint path")
+	}
+	return p.trainEvent(ctx, jobs, path, resumePos{})
+}
+
+// ResumeTrain restores an interrupted training event from its
+// checkpoint file and continues it over the same job window, returning
+// the restored predictor and the event's runtime-head loss. The window
+// must be the one the interrupted event was training on. Resuming a
+// checkpoint whose event already completed returns immediately.
+func ResumeTrain(ctx context.Context, path string, jobs []trace.Job) (*Predictor, float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload, err := readFrame(bytes.NewReader(raw))
+	if err != nil {
+		return nil, 0, err
+	}
+	var ck trainCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, 0, fmt.Errorf("%w: decoding train checkpoint: %v", ErrCorrupt, err)
+	}
+	p, err := Load(bytes.NewReader(ck.Predictor))
+	if err != nil {
+		return nil, 0, err
+	}
+	if ck.Window != len(jobs) {
+		return nil, 0, fmt.Errorf("prionn: checkpoint trained on a %d-job window, resume offered %d jobs", ck.Window, len(jobs))
+	}
+	loss, err := p.trainEvent(ctx, jobs, path, resumePos{head: ck.Head, epoch: ck.Epoch, runtimeLoss: ck.RuntimeLoss})
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, loss, nil
+}
+
+// eventSeed derives the shuffle seed for one (event, head) pair from the
+// configured seed via a splitmix64 finalizer, so every head of every
+// event gets an independent, reproducible stream.
+func eventSeed(seed int64, event, head int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(event+1) + 0xbf58476d1ce4e5b9*uint64(head+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// headFit is one classifier head's slot within a training event.
+type headFit struct {
+	model  *nn.Sequential
+	opt    nn.Optimizer
+	labels []int
+}
+
+// trainEvent is the shared engine behind Train, TrainCtx, and
+// TrainCheckpointed: fit every enabled head on the window, optionally
+// checkpointing after each epoch, starting from pos (zero for a fresh
+// event).
+func (p *Predictor) trainEvent(ctx context.Context, jobs []trace.Job, ckptPath string, pos resumePos) (float64, error) {
+	if len(jobs) == 0 {
+		return 0, fmt.Errorf("prionn: empty training window")
+	}
+	scripts := make([]string, len(jobs))
+	rt := make([]int, len(jobs))
+	rd := make([]int, len(jobs))
+	wr := make([]int, len(jobs))
+	pw := make([]int, len(jobs))
+	for i, j := range jobs {
+		scripts[i] = p.inputText(j.Script, j.InputDeck)
+		rt[i] = p.rbins.Class(j.ActualMin())
+		rd[i] = p.iobin.Class(float64(j.ReadBytes))
+		wr[i] = p.iobin.Class(float64(j.WriteBytes))
+		pw[i] = p.pbins.Class(j.AvgPowerW)
+	}
+	x := p.mapBatch(scripts)
+	epochs := p.Config.Epochs
+	if !p.trained {
+		// Bootstrap: the very first training event runs longer so the
+		// warm-start chain begins from a fitted model rather than random
+		// weights (subsequent events only need to track drift).
+		epochs *= 3
+	}
+
+	heads := []headFit{{model: p.runtime, opt: p.runtimeOpt, labels: rt}}
+	if p.Config.PredictIO {
+		heads = append(heads,
+			headFit{model: p.read, opt: p.readOpt, labels: rd},
+			headFit{model: p.write, opt: p.writeOpt, labels: wr})
+	}
+	if p.Config.PredictPower {
+		heads = append(heads, headFit{model: p.power, opt: p.powerOpt, labels: pw})
+	}
+
+	if pos.head >= len(heads) {
+		// Resuming a checkpoint written after its event completed: the
+		// event counter already advanced; there is nothing to redo.
+		return pos.runtimeLoss, nil
+	}
+
+	runtimeLoss := pos.runtimeLoss
+	for h := pos.head; h < len(heads); h++ {
+		head := heads[h]
+		opts := nn.FitOptions{
+			Epochs:    epochs,
+			BatchSize: p.Config.BatchSize,
+			Shuffle:   rand.New(rand.NewSource(eventSeed(p.Config.Seed, p.events, h))),
+		}
+		if h == pos.head {
+			opts.StartEpoch = pos.epoch
+		}
+		// When the interrupt landed after this head's final epoch, the fit
+		// below only replays shuffles and reports no loss; the checkpoint's
+		// recorded loss stands.
+		ranEpochs := opts.StartEpoch < epochs
+		if ckptPath != "" {
+			opts.AfterEpoch = func(e int, loss float64) error {
+				rl := runtimeLoss
+				if h == 0 {
+					rl = loss
+				}
+				if err := p.writeTrainCheckpoint(ckptPath, h, e+1, rl, len(jobs)); err != nil {
+					return err
+				}
+				return fault.Here(FailpointTrainCheckpoint)
+			}
+		}
+		loss, err := head.model.FitCtx(ctx, x, head.labels, head.opt, opts)
+		if err != nil {
+			return runtimeLoss, err
+		}
+		if h == 0 && ranEpochs {
+			runtimeLoss = loss
+		}
+	}
+	p.trained = true
+	p.events++
+	if ckptPath != "" {
+		// Final checkpoint: the completed event, with the incremented
+		// event counter, so a restart after this point resumes the next
+		// event with aligned seeds.
+		if err := p.writeTrainCheckpoint(ckptPath, len(heads), 0, runtimeLoss, len(jobs)); err != nil {
+			return runtimeLoss, err
+		}
+	}
+	return runtimeLoss, nil
+}
+
+// writeTrainCheckpoint persists the full predictor plus resume position,
+// crash-safely.
+func (p *Predictor) writeTrainCheckpoint(path string, head, epoch int, runtimeLoss float64, window int) error {
+	var model bytes.Buffer
+	if err := p.Save(&model); err != nil {
+		return err
+	}
+	ck := trainCheckpoint{
+		Predictor:   model.Bytes(),
+		Head:        head,
+		Epoch:       epoch,
+		RuntimeLoss: runtimeLoss,
+		Window:      window,
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(ck); err != nil {
+		return err
+	}
+	return atomicWriteFile(p.fileSystem(), path, payload.Bytes())
+}

@@ -1,0 +1,132 @@
+package prionn
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"prionn/internal/fault"
+)
+
+// Checkpoint framing. Every persisted artifact (full model saves and
+// mid-training checkpoints) is wrapped in a checksummed frame:
+//
+//	offset  size  field
+//	     0     8  magic "PRIONN\x00" + format version byte
+//	     8     8  payload length, little-endian uint64
+//	    16    32  SHA-256 of the payload
+//	    48     …  payload (gob)
+//
+// The frame turns every partial-failure mode a crash can produce — a
+// truncated file, a torn write, stray bytes — into a typed load error
+// instead of a silently wrong model. Combined with the write-temp →
+// fsync → atomic-rename writer below, a reader observes either the
+// previous complete checkpoint or the new complete checkpoint, never a
+// hybrid.
+
+// frameVersion is the current checkpoint format version.
+const frameVersion = 1
+
+var frameMagic = [8]byte{'P', 'R', 'I', 'O', 'N', 'N', 0, frameVersion}
+
+const frameHeaderLen = 8 + 8 + sha256.Size
+
+// Typed load errors. Callers distinguish "the file is short" (a crash
+// landed mid-write; retry with the previous checkpoint) from "the bytes
+// are wrong" (corruption; the file must be discarded) with errors.Is.
+var (
+	// ErrTruncated reports a checkpoint cut short: header or payload
+	// ends before its declared length.
+	ErrTruncated = errors.New("prionn: truncated checkpoint")
+	// ErrCorrupt reports checkpoint bytes that are present but wrong:
+	// bad magic, unknown version, checksum mismatch, or an undecodable
+	// payload.
+	ErrCorrupt = errors.New("prionn: corrupt checkpoint")
+)
+
+// writeFrame writes the header and payload to w.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	copy(hdr[:8], frameMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(hdr[16:], sum[:])
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame consumes r and returns the verified payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: short header", ErrTruncated)
+		}
+		return nil, err
+	}
+	if !bytes.Equal(hdr[:7], frameMagic[:7]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if hdr[7] != frameVersion {
+		return nil, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, hdr[7])
+	}
+	declared := binary.LittleEndian.Uint64(hdr[8:16])
+	// Read what is actually there rather than allocating the declared
+	// length: a corrupt header must not be able to demand gigabytes.
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(payload)) < declared {
+		return nil, fmt.Errorf("%w: payload %d of %d bytes", ErrTruncated, len(payload), declared)
+	}
+	if uint64(len(payload)) > declared {
+		return nil, fmt.Errorf("%w: %d bytes past declared payload", ErrCorrupt, uint64(len(payload))-declared)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], hdr[16:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// atomicWriteFile persists payload (framed) at path through the
+// injectable file-op layer: write to a temp file in the same directory,
+// fsync, close, rename over path, fsync the directory. A failure at any
+// step leaves the previous contents of path untouched; the temp file is
+// removed best-effort (a simulated crash skips even that, as a real
+// crash would).
+func atomicWriteFile(fsys fault.FS, path string, payload []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	cleanup := func() { _ = fsys.Remove(tmp) } // best-effort; path is still intact
+	if err := writeFrame(f, payload); err != nil {
+		_ = f.Close() // the write error is the one to report
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		cleanup()
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}

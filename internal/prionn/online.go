@@ -1,8 +1,10 @@
 package prionn
 
 import (
+	"context"
 	"sort"
 
+	"prionn/internal/fault"
 	"prionn/internal/trace"
 )
 
@@ -27,6 +29,35 @@ type OnlineRecord struct {
 // progress, when non-nil, is called after every training event with the
 // number of submissions processed so far.
 func RunOnline(jobs []trace.Job, cfg Config, progress func(done, total int)) ([]OnlineRecord, error) {
+	return RunOnlineCtx(context.Background(), jobs, cfg, progress)
+}
+
+// RunOnlineCtx is RunOnline with cooperative cancellation: the context
+// is polled at every submission and inside every training event, so a
+// canceled run stops within one minibatch.
+func RunOnlineCtx(ctx context.Context, jobs []trace.Job, cfg Config, progress func(done, total int)) ([]OnlineRecord, error) {
+	return runOnline(ctx, jobs, cfg, "", nil, progress)
+}
+
+// FailpointOnlineSave is the failpoint name fired before each online-
+// loop checkpoint write; robustness tests arm it to kill the loop at a
+// chosen training event.
+const FailpointOnlineSave = "prionn/online/save"
+
+// RunOnlineCheckpointed is RunOnlineCtx with durable progress: after
+// every training event the predictor is checkpointed crash-safely at
+// path. A deployment killed mid-run (or even mid-save) restarts from
+// the last completed event's model via LoadFile instead of retraining
+// from scratch — the survivability half of the paper's persistent-tool
+// deployment (§2.3).
+func RunOnlineCheckpointed(ctx context.Context, jobs []trace.Job, cfg Config, path string, progress func(done, total int)) ([]OnlineRecord, error) {
+	return runOnline(ctx, jobs, cfg, path, nil, progress)
+}
+
+// runOnline is the shared loop. fsys, when non-nil, becomes the
+// persistence layer of the internally built predictor — the hook the
+// crash-recovery tests use to kill a checkpoint save mid-write.
+func runOnline(ctx context.Context, jobs []trace.Job, cfg Config, ckptPath string, fsys fault.FS, progress func(done, total int)) ([]OnlineRecord, error) {
 	// Pending completions ordered by end time.
 	type completion struct {
 		end int64
@@ -48,6 +79,9 @@ func RunOnline(jobs []trace.Job, cfg Config, progress func(done, total int)) ([]
 	sinceTrain := 0
 
 	for i, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Advance the completion stream to this submission instant.
 		for pi < len(pending) && pending[pi].end <= j.SubmitTime {
 			completed = append(completed, pending[pi].idx)
@@ -75,9 +109,18 @@ func RunOnline(jobs []trace.Job, cfg Config, progress func(done, total int)) ([]
 				if err != nil {
 					return nil, err
 				}
+				p.fs = fsys
 			}
-			if _, err := p.Train(batch); err != nil {
+			if _, err := p.TrainCtx(ctx, batch); err != nil {
 				return nil, err
+			}
+			if ckptPath != "" {
+				if err := fault.Here(FailpointOnlineSave); err != nil {
+					return nil, err
+				}
+				if err := p.SaveFile(ckptPath); err != nil {
+					return nil, err
+				}
 			}
 			sinceTrain = 0
 			if progress != nil {

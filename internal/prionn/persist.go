@@ -7,30 +7,52 @@ import (
 	"io"
 	"os"
 
+	"prionn/internal/fault"
 	"prionn/internal/mapping"
+	"prionn/internal/nn"
 	"prionn/internal/word2vec"
 )
 
 // persistedPredictor is the gob wire format for a full predictor: the
-// configuration, the trained character embedding, and the parameter
-// snapshots of every head. The architecture is rebuilt from the
-// configuration on load, then the snapshots are restored into it.
+// configuration, the trained character embedding, the parameter
+// snapshots of every head, and each head's optimizer state. The
+// architecture is rebuilt from the configuration on load, then the
+// snapshots are restored into it. Optimizer state rides along because
+// warm-start retraining (and bitwise-identical resume of an interrupted
+// event) continues Adam's moment estimates, not a cold optimizer.
 type persistedPredictor struct {
 	Config    Config
 	Embedding *word2vec.Embedding // nil unless Transform == word2vec
 	Trained   bool
+	Events    int // completed training events (seeds per-event shuffles)
 	Runtime   []byte
 	Read      []byte
 	Write     []byte
 	Power     []byte
+
+	RuntimeOpt []byte
+	ReadOpt    []byte
+	WriteOpt   []byte
+	PowerOpt   []byte
 }
 
-// Save serializes the predictor — configuration, embedding, and all
-// trained parameters — so a deployment can restore it without retraining
-// (the paper's tool runs persistently on a dedicated node; restarting it
-// must not lose the warm-start state).
+// Save serializes the predictor — configuration, embedding, trained
+// parameters, and optimizer state — inside a checksummed frame, so a
+// deployment can restore it without retraining (the paper's tool runs
+// persistently on a dedicated node; restarting it must not lose the
+// warm-start state) and so Load can reject truncated or corrupt bytes
+// with a typed error instead of restoring garbage.
 func (p *Predictor) Save(w io.Writer) error {
-	pp := persistedPredictor{Config: p.Config, Embedding: p.emb, Trained: p.trained}
+	payload, err := p.encode()
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, payload)
+}
+
+// encode produces the gob payload Save frames.
+func (p *Predictor) encode() ([]byte, error) {
+	pp := persistedPredictor{Config: p.Config, Embedding: p.emb, Trained: p.trained, Events: p.events}
 	snap := func(m interface{ Save(io.Writer) error }) ([]byte, error) {
 		var buf bytes.Buffer
 		if err := m.Save(&buf); err != nil {
@@ -38,34 +60,72 @@ func (p *Predictor) Save(w io.Writer) error {
 		}
 		return buf.Bytes(), nil
 	}
+	snapOpt := func(m *nn.Sequential, opt nn.Optimizer) ([]byte, error) {
+		so, ok := opt.(nn.StatefulOptimizer)
+		if !ok {
+			return nil, nil
+		}
+		var buf bytes.Buffer
+		if err := so.SaveState(m.Params(), &buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
 	var err error
 	if pp.Runtime, err = snap(p.runtime); err != nil {
-		return err
+		return nil, err
+	}
+	if pp.RuntimeOpt, err = snapOpt(p.runtime, p.runtimeOpt); err != nil {
+		return nil, err
 	}
 	if p.Config.PredictIO {
 		if pp.Read, err = snap(p.read); err != nil {
-			return err
+			return nil, err
 		}
 		if pp.Write, err = snap(p.write); err != nil {
-			return err
+			return nil, err
+		}
+		if pp.ReadOpt, err = snapOpt(p.read, p.readOpt); err != nil {
+			return nil, err
+		}
+		if pp.WriteOpt, err = snapOpt(p.write, p.writeOpt); err != nil {
+			return nil, err
 		}
 	}
 	if p.Config.PredictPower {
 		if pp.Power, err = snap(p.power); err != nil {
-			return err
+			return nil, err
+		}
+		if pp.PowerOpt, err = snapOpt(p.power, p.powerOpt); err != nil {
+			return nil, err
 		}
 	}
-	return gob.NewEncoder(w).Encode(pp)
-}
-
-// Load restores a predictor saved with Save.
-func Load(r io.Reader) (*Predictor, error) {
-	var pp persistedPredictor
-	if err := gob.NewDecoder(r).Decode(&pp); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pp); err != nil {
 		return nil, err
 	}
+	return buf.Bytes(), nil
+}
+
+// Load restores a predictor saved with Save. Damaged input is rejected
+// with an error wrapping ErrTruncated or ErrCorrupt; Load never returns
+// a predictor built from partial bytes.
+func Load(r io.Reader) (*Predictor, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return decode(payload)
+}
+
+// decode rebuilds a predictor from a verified gob payload.
+func decode(payload []byte) (*Predictor, error) {
+	var pp persistedPredictor
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&pp); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorrupt, err)
+	}
 	if err := pp.Config.Validate(); err != nil {
-		return nil, fmt.Errorf("prionn: persisted config invalid: %w", err)
+		return nil, fmt.Errorf("%w: persisted config invalid: %v", ErrCorrupt, err)
 	}
 	// Rebuild with an empty corpus: the trained embedding is restored
 	// directly rather than retrained.
@@ -75,15 +135,34 @@ func Load(r io.Reader) (*Predictor, error) {
 	}
 	if pp.Config.Transform == TransformWord2Vec {
 		if pp.Embedding == nil {
-			return nil, fmt.Errorf("prionn: persisted word2vec predictor lacks an embedding")
+			return nil, fmt.Errorf("%w: persisted word2vec predictor lacks an embedding", ErrCorrupt)
 		}
 		p.emb = pp.Embedding
 		p.transform = mapping.Word2Vec{Emb: pp.Embedding}
 	}
 	restore := func(m interface{ Load(io.Reader) error }, data []byte) error {
-		return m.Load(bytes.NewReader(data))
+		if err := m.Load(bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return nil
+	}
+	restoreOpt := func(m *nn.Sequential, opt nn.Optimizer, data []byte) error {
+		if len(data) == 0 {
+			return nil // saved without optimizer state; a cold optimizer is still valid
+		}
+		so, ok := opt.(nn.StatefulOptimizer)
+		if !ok {
+			return nil
+		}
+		if err := so.LoadState(m.Params(), bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("%w: optimizer state: %v", ErrCorrupt, err)
+		}
+		return nil
 	}
 	if err := restore(p.runtime, pp.Runtime); err != nil {
+		return nil, err
+	}
+	if err := restoreOpt(p.runtime, p.runtimeOpt, pp.RuntimeOpt); err != nil {
 		return nil, err
 	}
 	if pp.Config.PredictIO {
@@ -93,30 +172,36 @@ func Load(r io.Reader) (*Predictor, error) {
 		if err := restore(p.write, pp.Write); err != nil {
 			return nil, err
 		}
+		if err := restoreOpt(p.read, p.readOpt, pp.ReadOpt); err != nil {
+			return nil, err
+		}
+		if err := restoreOpt(p.write, p.writeOpt, pp.WriteOpt); err != nil {
+			return nil, err
+		}
 	}
 	if pp.Config.PredictPower {
 		if err := restore(p.power, pp.Power); err != nil {
 			return nil, err
 		}
+		if err := restoreOpt(p.power, p.powerOpt, pp.PowerOpt); err != nil {
+			return nil, err
+		}
 	}
 	p.trained = pp.Trained
+	p.events = pp.Events
 	return p, nil
 }
 
-// SaveFile writes the predictor to a file. A Close failure is reported:
-// buffered bytes flushed at close are part of the snapshot, and a
-// deployment restored from a truncated file restarts cold.
-func (p *Predictor) SaveFile(path string) (err error) {
-	f, err := os.Create(path)
+// SaveFile writes the predictor to path crash-safely: the snapshot goes
+// to a temp file that is fsynced and atomically renamed over path, so a
+// failure (or a kill) at any point leaves the previous checkpoint at
+// path intact — a deployment never observes a truncated model file.
+func (p *Predictor) SaveFile(path string) error {
+	payload, err := p.encode()
 	if err != nil {
 		return err
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-	return p.Save(f)
+	return atomicWriteFile(p.fileSystem(), path, payload)
 }
 
 // LoadFile restores a predictor from a file written by SaveFile.
@@ -127,4 +212,23 @@ func LoadFile(path string) (*Predictor, error) {
 	}
 	defer func() { _ = f.Close() }() // read-only; close errors carry no data loss
 	return Load(f)
+}
+
+// SetFS redirects the predictor's persistence writes (SaveFile and
+// training checkpoints) through the given file-op layer and returns the
+// previous one. The fault-injection tests drive the crash matrix through
+// this; nil restores the real filesystem.
+func (p *Predictor) SetFS(fsys fault.FS) fault.FS {
+	prev := p.fs
+	p.fs = fsys
+	return prev
+}
+
+// fileSystem returns the persistence file-op layer, defaulting to the
+// real filesystem.
+func (p *Predictor) fileSystem() fault.FS {
+	if p.fs == nil {
+		return fault.OS{}
+	}
+	return p.fs
 }

@@ -1,9 +1,10 @@
 package prionn
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 
+	"prionn/internal/fault"
 	"prionn/internal/mapping"
 	"prionn/internal/nn"
 	"prionn/internal/tensor"
@@ -63,6 +64,14 @@ type Predictor struct {
 
 	rng     *rand.Rand
 	trained bool
+	// events counts completed training events. Each event's minibatch
+	// shuffles draw from an RNG seeded by (Config.Seed, events, head),
+	// so an interrupted event resumes with exactly the permutations the
+	// uninterrupted run would have used.
+	events int
+	// fs is the persistence file-op layer; nil means the real
+	// filesystem. See SetFS.
+	fs fault.FS
 }
 
 // New builds an untrained predictor. When cfg.Transform is word2vec, the
@@ -152,44 +161,21 @@ func (p *Predictor) mapBatch(scripts []string) *tensor.Tensor {
 // (paper: the 500 most recently completed). It returns the final-epoch
 // mean loss of the runtime head.
 func (p *Predictor) Train(jobs []trace.Job) (float64, error) {
-	if len(jobs) == 0 {
-		return 0, fmt.Errorf("prionn: empty training window")
-	}
-	scripts := make([]string, len(jobs))
-	rt := make([]int, len(jobs))
-	rd := make([]int, len(jobs))
-	wr := make([]int, len(jobs))
-	pw := make([]int, len(jobs))
-	for i, j := range jobs {
-		scripts[i] = p.inputText(j.Script, j.InputDeck)
-		rt[i] = p.rbins.Class(j.ActualMin())
-		rd[i] = p.iobin.Class(float64(j.ReadBytes))
-		wr[i] = p.iobin.Class(float64(j.WriteBytes))
-		pw[i] = p.pbins.Class(j.AvgPowerW)
-	}
-	x := p.mapBatch(scripts)
-	epochs := p.Config.Epochs
-	if !p.trained {
-		// Bootstrap: the very first training event runs longer so the
-		// warm-start chain begins from a fitted model rather than random
-		// weights (subsequent events only need to track drift).
-		epochs *= 3
-	}
-	opts := nn.FitOptions{Epochs: epochs, BatchSize: p.Config.BatchSize, Shuffle: p.rng}
-	loss := p.runtime.Fit(x, rt, p.runtimeOpt, opts)
-	if p.Config.PredictIO {
-		p.read.Fit(x, rd, p.readOpt, opts)
-		p.write.Fit(x, wr, p.writeOpt, opts)
-	}
-	if p.Config.PredictPower {
-		p.power.Fit(x, pw, p.powerOpt, opts)
-	}
-	p.trained = true
-	return loss, nil
+	return p.TrainCtx(context.Background(), jobs)
+}
+
+// TrainCtx is Train with cooperative cancellation: the context is polled
+// between minibatches, so a canceled training event returns within one
+// batch. The parameters updated by completed batches remain applied.
+func (p *Predictor) TrainCtx(ctx context.Context, jobs []trace.Job) (float64, error) {
+	return p.trainEvent(ctx, jobs, "", resumePos{})
 }
 
 // Trained reports whether at least one training event has run.
 func (p *Predictor) Trained() bool { return p.trained }
+
+// Events returns the number of completed training events.
+func (p *Predictor) Events() int { return p.events }
 
 // Predict returns predictions for a batch of job scripts.
 func (p *Predictor) Predict(scripts []string) []Prediction {

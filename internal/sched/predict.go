@@ -1,5 +1,37 @@
 package sched
 
+import (
+	"context"
+	"math"
+)
+
+// maxPredictedSec caps predicted runtimes fed to the simulator (~35,000
+// years) so an Inf or overflowed prediction cannot wrap the int64 event
+// clock.
+const maxPredictedSec = int64(1) << 40
+
+// SanitizePredictedSec converts a model-predicted runtime in float
+// seconds into a value safe to feed the simulator. Model output can be
+// garbage — NaN from a degenerate division, Inf from an overflow,
+// zero or negative from an untrained head — and an unchecked int64
+// conversion of those is platform-defined, producing placements with
+// negative durations. The result is always in [1, limitSec] (or
+// [1, maxPredictedSec] when limitSec is 0, i.e. no wall limit).
+func SanitizePredictedSec(sec float64, limitSec int64) int64 {
+	r := int64(1)
+	if !math.IsNaN(sec) && sec > 1 {
+		if sec >= float64(maxPredictedSec) { // also catches +Inf
+			r = maxPredictedSec
+		} else {
+			r = int64(sec)
+		}
+	}
+	if limitSec > 0 && r > limitSec {
+		r = limitSec
+	}
+	return r
+}
+
 // TurnaroundResult pairs the simulated (real) turnaround of a job with
 // the turnaround predicted at its submission instant via the snapshot
 // mechanism.
@@ -35,9 +67,20 @@ type TurnaroundResult struct {
 // Under plain FCFS (cfg.Backfill false) perfect runtimes do give exact
 // turnarounds, a property the test suite verifies.
 func PredictTurnarounds(items []Item, cfg SimConfig, pred func(id int) int64) ([]TurnaroundResult, error) {
+	return PredictTurnaroundsCtx(context.Background(), items, cfg, pred)
+}
+
+// PredictTurnaroundsCtx is PredictTurnarounds with cooperative
+// cancellation: the context is polled before every submission (each of
+// which triggers a full snapshot simulation), so a canceled run stops
+// within one snapshot.
+func PredictTurnaroundsCtx(ctx context.Context, items []Item, cfg SimConfig, pred func(id int) int64) ([]TurnaroundResult, error) {
 	sim := NewSimConfig(cfg)
 	predicted := make(map[int]Placement, len(items))
 	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := sim.Submit(it); err != nil {
 			return nil, err
 		}
@@ -67,8 +110,17 @@ func PredictTurnarounds(items []Item, cfg SimConfig, pred func(id int) int64) ([
 // produces the "real" execution schedule used as perfect turnaround
 // knowledge in the paper's first system-IO evaluation.
 func Schedule(items []Item, cfg SimConfig) (map[int]Placement, error) {
+	return ScheduleCtx(context.Background(), items, cfg)
+}
+
+// ScheduleCtx is Schedule with cooperative cancellation, polled per
+// submission.
+func ScheduleCtx(ctx context.Context, items []Item, cfg SimConfig) (map[int]Placement, error) {
 	sim := NewSimConfig(cfg)
 	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := sim.Submit(it); err != nil {
 			return nil, err
 		}

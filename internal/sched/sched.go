@@ -115,6 +115,12 @@ func (s *Sim) Submit(it Item) error {
 	}
 	s.AdvanceTo(it.Submit)
 	j := &simJob{Item: it}
+	if j.RuntimeSec < 0 {
+		// A negative runtime (garbage prediction or corrupt trace row)
+		// would move a job's end before its start and stall the event
+		// loop; treat it as an instant job instead.
+		j.RuntimeSec = 0
+	}
 	if j.LimitSec > 0 && j.RuntimeSec > j.LimitSec {
 		// SLURM kills the job at its requested limit.
 		j.RuntimeSec = j.LimitSec

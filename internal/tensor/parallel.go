@@ -1,7 +1,9 @@
 package tensor
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -30,10 +32,31 @@ func SetMaxWorkers(n int) int {
 // MaxWorkers returns the current worker-pool size.
 func MaxWorkers() int { return int(maxWorkers.Load()) }
 
+// PanicError is a worker panic captured by ParallelFor and re-raised on
+// the caller goroutine. It carries the chunk that panicked and the
+// worker's stack, so a crash in one matmul chunk reports where it
+// happened instead of killing the process from an anonymous goroutine
+// no recover can reach.
+type PanicError struct {
+	Lo, Hi int         // chunk bounds [Lo, Hi) the worker was processing
+	Value  interface{} // the recovered panic value
+	Stack  []byte      // worker stack at the panic site
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("tensor: panic in ParallelFor chunk [%d,%d): %v", e.Lo, e.Hi, e.Value)
+}
+
 // ParallelFor runs fn(lo, hi) over contiguous chunks covering [0, n),
 // splitting the range across the worker pool. When the pool has a single
 // worker (or n is small) the function runs inline, avoiding goroutine
 // overhead on tiny workloads.
+//
+// A panic in any chunk is captured and re-raised exactly once, on the
+// caller's goroutine, as a *PanicError. All workers are still joined
+// first, so no goroutine outlives the call and the caller's recover (the
+// experiment harness isolates per-figure panics) can contain the
+// failure.
 func ParallelFor(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -51,10 +74,14 @@ func ParallelFor(n int, fn func(lo, hi int)) {
 		}
 	}
 	if workers == 1 {
-		fn(0, n)
+		runChunk(0, n, fn)
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		first sync.Once
+		pe    *PanicError
+	)
 	chunk := (n + workers - 1) / workers
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -64,8 +91,39 @@ func ParallelFor(n int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					err := asPanicError(lo, hi, r)
+					first.Do(func() { pe = err })
+				}
+			}()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if pe != nil {
+		panic(pe)
+	}
+}
+
+// runChunk executes the inline (single-worker) path with the same panic
+// wrapping as the worker goroutines, so callers see one *PanicError
+// regardless of which path a given n took.
+func runChunk(lo, hi int, fn func(lo, hi int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(asPanicError(lo, hi, r))
+		}
+	}()
+	fn(lo, hi)
+}
+
+// asPanicError wraps a recovered value with chunk context, passing an
+// already-wrapped *PanicError through so nested ParallelFor calls report
+// the innermost chunk.
+func asPanicError(lo, hi int, r interface{}) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Lo: lo, Hi: hi, Value: r, Stack: debug.Stack()}
 }

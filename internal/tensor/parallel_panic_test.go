@@ -1,0 +1,127 @@
+package tensor
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForPanicPropagates asserts the tentpole contract: a panic
+// in one worker chunk surfaces exactly once, on the caller goroutine, as
+// a *PanicError carrying the chunk bounds — never as a process-killing
+// panic on an anonymous goroutine. Run under -race in the gate, the
+// panicking case must also leave no worker running.
+func TestParallelForPanicPropagates(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+
+	var caught atomic.Int64
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("worker panic did not reach the caller")
+			}
+			caught.Add(1)
+			pe, ok := r.(*PanicError)
+			if !ok {
+				t.Fatalf("recovered %T, want *PanicError", r)
+			}
+			if pe.Value != "chunk boom" {
+				t.Fatalf("panic value = %v", pe.Value)
+			}
+			if pe.Lo < 0 || pe.Hi > 1024 || pe.Lo >= pe.Hi {
+				t.Fatalf("bad chunk bounds [%d,%d)", pe.Lo, pe.Hi)
+			}
+			if !strings.Contains(pe.Error(), "chunk boom") {
+				t.Fatalf("Error() = %q", pe.Error())
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatal("no worker stack captured")
+			}
+		}()
+		// 1024 elements across 4 workers: several real goroutines; the
+		// chunk holding index 700 panics.
+		ParallelFor(1024, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i == 700 {
+					panic("chunk boom")
+				}
+			}
+		})
+	}()
+	if got := caught.Load(); got != 1 {
+		t.Fatalf("panic surfaced %d times, want exactly 1", got)
+	}
+}
+
+// TestParallelForPanicAllWorkersJoined asserts every non-panicking
+// worker still completes before the panic is re-raised: the caller never
+// races surviving workers on shared buffers.
+func TestParallelForPanicAllWorkersJoined(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+
+	var visited atomic.Int64
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		ParallelFor(4096, func(lo, hi int) {
+			if lo == 0 {
+				panic("early chunk dies")
+			}
+			for i := lo; i < hi; i++ {
+				visited.Add(1)
+			}
+		})
+	}()
+	// All chunks except the panicking first one ran to completion; with 4
+	// workers over 4096 elements the first chunk holds 1024 elements.
+	if got := visited.Load(); got != 4096-1024 {
+		t.Fatalf("visited %d elements, want %d (all surviving chunks complete)", got, 4096-1024)
+	}
+}
+
+// TestParallelForInlinePanicWrapped pins the single-worker (inline) path
+// to the same *PanicError contract as the parallel path.
+func TestParallelForInlinePanicWrapped(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatalf("inline path recovered %T, want *PanicError", pe)
+		}
+		if pe.Lo != 0 || pe.Hi != 10 {
+			t.Fatalf("inline chunk bounds [%d,%d), want [0,10)", pe.Lo, pe.Hi)
+		}
+	}()
+	ParallelFor(10, func(lo, hi int) { panic("inline boom") })
+}
+
+// TestParallelForNestedPanicNotDoubleWrapped asserts a panic crossing
+// two ParallelFor frames reports the innermost chunk once.
+func TestParallelForNestedPanicNotDoubleWrapped(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", pe)
+		}
+		if pe.Value != "inner" {
+			t.Fatalf("panic value = %v, want the innermost panic", pe.Value)
+		}
+		if pe.Lo != 0 || pe.Hi != 3 {
+			t.Fatalf("chunk bounds [%d,%d), want innermost [0,3)", pe.Lo, pe.Hi)
+		}
+	}()
+	ParallelFor(10, func(lo, hi int) {
+		ParallelFor(3, func(lo, hi int) { panic("inner") })
+	})
+}

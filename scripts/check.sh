@@ -11,8 +11,12 @@
 #   5. go test        (tier-1 tests)
 #   6. go test -race  (every package under the race detector, including
 #                      the ParallelFor/SetMaxWorkers hammer test)
-#   7. go test -fuzz  (short smoke run of each fuzz target: the mapping
-#                      crop/pad grid and the feature-directive parser)
+#   7. crash matrix   (fault-injection sweep: every injectable fault
+#                      point during a checkpoint save, plus mid-save
+#                      crash recovery of the online-retrain loop)
+#   8. go test -fuzz  (short smoke run of each fuzz target: the mapping
+#                      crop/pad grid, the feature-directive parser, and
+#                      corrupt-checkpoint loading)
 #
 # Exits nonzero on the first failure. No Makefile on purpose: this file
 # is the single committed description of the gate, invoked directly by
@@ -45,6 +49,12 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Crash matrix: rerun the fault-injection sweep explicitly (it is part
+# of the suite above, but a -run filter here keeps it visible as its own
+# gate and guards against the tests being skipped or renamed away).
+echo "== crash matrix (fault injection)"
+go test -count=1 -run 'TestSaveFileCrashMatrix|TestOnlineRetrainCrashRecovery|TestInterruptResumeBitwiseIdentical' ./internal/prionn/
+
 # Fuzz smoke runs: a few seconds per target keeps the gate fast while
 # still exercising the engine-generated corpus. One package per
 # invocation — the fuzzer requires it.
@@ -53,5 +63,6 @@ go test -fuzz=FuzzStandardize -fuzztime=3s -run='^$' ./internal/mapping/
 go test -fuzz=FuzzMapScript -fuzztime=3s -run='^$' ./internal/mapping/
 go test -fuzz=FuzzExtract -fuzztime=3s -run='^$' ./internal/features/
 go test -fuzz=FuzzSplitDirective -fuzztime=3s -run='^$' ./internal/features/
+go test -fuzz=FuzzLoadPredictor -fuzztime=3s -run='^$' ./internal/prionn/
 
 echo "all checks passed"
