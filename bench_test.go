@@ -269,6 +269,68 @@ func BenchmarkConv2DForward(b *testing.B) {
 	}
 }
 
+// benchGEMM times dst[m,n] = a[m,k]·b[k,n] with a preallocated
+// destination, reporting achieved ns/op and allocs/op for the blocked
+// kernel.
+func benchGEMM(b *testing.B, m, k, n int) {
+	rng := rand.New(rand.NewSource(15))
+	x := tensor.New(m, k).RandN(rng, 1)
+	y := tensor.New(k, n).RandN(rng, 1)
+	dst := tensor.New(m, n)
+	b.SetBytes(int64(m) * int64(k) * int64(n) * 2 * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(dst, x, y)
+	}
+}
+
+// GEMM shapes: Small is sub-tile scheduling overhead; CNNShape is the
+// Fig. 4 conv forward (weights [8, C·KH·KW] × cols [·, N·OH·OW]);
+// CNNDense is the first dense layer after flatten; Large is the
+// throughput ceiling.
+func BenchmarkGEMMSmall(b *testing.B)    { benchGEMM(b, 32, 64, 32) }
+func BenchmarkGEMMCNNShape(b *testing.B) { benchGEMM(b, 8, 200, 4096) }
+func BenchmarkGEMMCNNDense(b *testing.B) { benchGEMM(b, 40, 1024, 128) }
+func BenchmarkGEMMLarge(b *testing.B)    { benchGEMM(b, 256, 256, 256) }
+
+// BenchmarkConvForward measures the batched single-GEMM convolution with
+// arena recycling: steady state must report ~0 allocs/op.
+func BenchmarkConvForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	spec := tensor.ConvSpec{KH: 3, KW: 3, Stride: 1, PadH: 1, PadW: 1}
+	x := tensor.New(8, 4, 32, 32).RandN(rng, 1)
+	w := tensor.New(8, 4*9).RandN(rng, 1)
+	bias := tensor.New(8)
+	ar := tensor.NewArena()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, _ := tensor.Conv2DForwardArena(ar, x, w, bias, 4, 32, 32, spec, false)
+		ar.Put(y)
+	}
+}
+
+// BenchmarkConvBackward measures the two-GEMM backward pass (dW, dcols)
+// plus the sample-parallel Col2Im scatter, arena-recycled.
+func BenchmarkConvBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	spec := tensor.ConvSpec{KH: 3, KW: 3, Stride: 1, PadH: 1, PadW: 1}
+	x := tensor.New(8, 4, 32, 32).RandN(rng, 1)
+	w := tensor.New(8, 4*9).RandN(rng, 1)
+	bias := tensor.New(8)
+	dW := tensor.New(8, 4*9)
+	dB := tensor.New(8)
+	ar := tensor.NewArena()
+	y, cols := tensor.Conv2DForwardArena(ar, x, w, bias, 4, 32, 32, spec, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dx := tensor.Conv2DBackwardArena(ar, y, w, cols, dW, dB, 4, 32, 32, spec)
+		ar.Put(dx)
+	}
+}
+
 func BenchmarkMapBatchSerialVsParallel(b *testing.B) {
 	scripts := benchScripts(200)
 	b.Run("serial", func(b *testing.B) {

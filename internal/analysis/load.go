@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -160,8 +161,12 @@ func (l *Loader) importPathFor(dir, pkgName string) string {
 }
 
 // parseDir parses the non-test Go files of dir with comments (needed
-// for suppression directives), skipping files marked ignore via build
-// constraints.
+// for suppression directives). Build constraints — //go:build and
+// legacy +build lines as well as _GOOS/_GOARCH filename suffixes — are
+// evaluated against the host target via go/build, so e.g. a
+// //go:build amd64 kernel shim is type-checked on amd64 while its
+// !amd64 fallback (and anything tagged ignore) is skipped, matching
+// what `go build` would compile.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -178,35 +183,20 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	sort.Strings(names)
 	var files []*ast.File
 	for _, name := range names {
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: build constraints of %s: %w", filepath.Join(dir, name), err)
+		}
+		if !match {
+			continue
+		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
-		if fileIgnored(f) {
-			continue
-		}
 		files = append(files, f)
 	}
 	return files, nil
-}
-
-// fileIgnored reports whether the file opts out of the build via a
-// constraint comment (e.g. //go:build ignore). The repo does not use
-// GOOS/GOARCH constraints, so anything with a build directive before
-// the package clause is treated as excluded.
-func fileIgnored(f *ast.File) bool {
-	for _, cg := range f.Comments {
-		if cg.Pos() >= f.Package {
-			break
-		}
-		for _, c := range cg.List {
-			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-			if strings.HasPrefix(text, "go:build") || strings.HasPrefix(text, "+build") {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // PackageDirs walks root and returns every directory containing

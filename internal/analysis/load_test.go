@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/build"
 	"os"
 	"path/filepath"
 	"strings"
@@ -76,6 +77,37 @@ func TestLoadDirSkipsBuildTagged(t *testing.T) {
 	}
 	if len(pkg.Files) != 1 {
 		t.Fatalf("loaded %d files, want 1 (only ok.go)", len(pkg.Files))
+	}
+	if pkg.Pkg.Scope().Lookup("Kept") == nil {
+		t.Error("ok.go not type-checked")
+	}
+}
+
+func TestLoadDirEvaluatesTargetConstraints(t *testing.T) {
+	arch := build.Default.GOARCH
+	other := "arm64"
+	if arch == other {
+		other = "amd64"
+	}
+	root := writeTree(t, map[string]string{
+		"ok.go": "package p\n\nfunc Kept() int { return impl() }\n",
+		// Satisfied constraint: must be type-checked (it defines impl).
+		"native.go": "//go:build " + arch + "\n\npackage p\n\nfunc impl() int { return 1 }\n",
+		// Unsatisfied negation: skipping it is what keeps impl unique.
+		"fallback.go": "//go:build !" + arch + "\n\npackage p\n\nfunc impl() int { return 0 }\n",
+		// Wrong-arch filename suffix, no constraint comment at all.
+		"p_" + other + ".go": "package p\n\nfunc suffixExcluded() { alsoUndefined() }\n",
+	})
+	loader, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(root)
+	if err != nil {
+		t.Fatalf("LoadDir should evaluate GOOS/GOARCH constraints: %v", err)
+	}
+	if len(pkg.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2 (ok.go + native.go)", len(pkg.Files))
 	}
 	if pkg.Pkg.Scope().Lookup("Kept") == nil {
 		t.Error("ok.go not type-checked")

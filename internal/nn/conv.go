@@ -17,7 +17,8 @@ type Conv2D struct {
 	W             *tensor.Tensor // [F, C*KH*KW]
 	B             *tensor.Tensor // [F]
 	dW, dB        *tensor.Tensor
-	cols          []*tensor.Tensor
+	cols          *tensor.Tensor // shared batch column matrix from the last train-mode Forward
+	y, dx         *tensor.Tensor // recycled train-time buffers
 }
 
 // NewConv2D returns a Conv2D layer with He-initialized kernels. It panics
@@ -49,9 +50,19 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 {
 		x = x.Reshape(x.Dim(0), c.InC, c.InH, c.InW)
 	}
-	y, cols := tensor.Conv2DForward(x, c.W, c.B, c.InC, c.InH, c.InW, c.Spec, train)
-	c.cols = cols
-	return y
+	ar := tensor.DefaultArena()
+	if !train {
+		// Inference outputs escape to the caller; let them come from the
+		// arena but do not recycle them here.
+		y, _ := tensor.Conv2DForwardArena(ar, x, c.W, c.B, c.InC, c.InH, c.InW, c.Spec, false)
+		return y
+	}
+	// The previous step's output and column matrix are dead once that
+	// TrainBatch returned; recycling them makes the batched forward
+	// allocation-free at a steady batch shape.
+	ar.Put(c.y)
+	c.y, c.cols = tensor.Conv2DForwardArena(ar, x, c.W, c.B, c.InC, c.InH, c.InW, c.Spec, true)
+	return c.y
 }
 
 // Backward implements Layer.
@@ -59,9 +70,12 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if c.cols == nil {
 		panic("nn: Conv2D.Backward without a train-mode Forward")
 	}
-	dx := tensor.Conv2DBackward(dy, c.W, c.cols, c.dW, c.dB, c.InC, c.InH, c.InW, c.Spec)
+	ar := tensor.DefaultArena()
+	ar.Put(c.dx)
+	c.dx = tensor.Conv2DBackwardArena(ar, dy, c.W, c.cols, c.dW, c.dB, c.InC, c.InH, c.InW, c.Spec)
+	ar.Put(c.cols)
 	c.cols = nil
-	return dx
+	return c.dx
 }
 
 // Params implements Layer.

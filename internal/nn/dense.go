@@ -14,6 +14,7 @@ type Dense struct {
 	B       *tensor.Tensor // [out]
 	dW, dB  *tensor.Tensor
 	x       *tensor.Tensor // cached input
+	y, dx   *tensor.Tensor // recycled train-time output and input-gradient buffers
 }
 
 // NewDense returns a Dense layer with He-initialized weights.
@@ -37,7 +38,18 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		x = x.Reshape(x.Dim(0), -1)
 	}
 	d.x = x
-	y := tensor.MatMul(nil, x, d.W)
+	var y *tensor.Tensor
+	if train {
+		// The previous step's output is dead once its TrainBatch
+		// returned, so the layer cycles one arena buffer instead of
+		// allocating per batch. Inference outputs escape to the caller
+		// and get fresh tensors.
+		d.y = tensor.DefaultArena().Reuse(d.y, x.Dim(0), d.Out)
+		y = d.y
+	} else {
+		y = tensor.New(x.Dim(0), d.Out)
+	}
+	tensor.MatMul(y, x, d.W)
 	y.AddRowVector(d.B)
 	return y
 }
@@ -45,9 +57,10 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	// dW += xᵀ·dy ; dB += column sums of dy ; dx = dy·Wᵀ
-	d.dW.Add(tensor.MatMulTransA(nil, d.x, dy))
-	d.dB.Add(dy.SumRows(nil))
-	return tensor.MatMulTransB(nil, dy, d.W)
+	tensor.MatMulTransAAcc(d.dW, d.x, dy)
+	dy.SumRowsAcc(d.dB)
+	d.dx = tensor.DefaultArena().Reuse(d.dx, dy.Dim(0), d.In)
+	return tensor.MatMulTransB(d.dx, dy, d.W)
 }
 
 // Params implements Layer.
@@ -58,7 +71,8 @@ func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }
 
 // ReLU applies the rectified linear unit elementwise.
 type ReLU struct {
-	mask []bool
+	mask  []bool
+	y, dx *tensor.Tensor // recycled train-time buffers
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -69,16 +83,23 @@ func (r *ReLU) Name() string { return "relu" }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	if cap(r.mask) < y.Len() {
-		r.mask = make([]bool, y.Len())
+	var y *tensor.Tensor
+	if train {
+		r.y = tensor.DefaultArena().Reuse(r.y, x.Shape...)
+		y = r.y
+	} else {
+		y = tensor.New(x.Shape...)
 	}
-	r.mask = r.mask[:y.Len()]
-	for i, v := range y.Data {
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	for i, v := range x.Data {
 		if v <= 0 {
 			y.Data[i] = 0
 			r.mask[i] = false
 		} else {
+			y.Data[i] = v
 			r.mask[i] = true
 		}
 	}
@@ -87,9 +108,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := dy.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+	r.dx = tensor.DefaultArena().Reuse(r.dx, dy.Shape...)
+	dx := r.dx
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -135,9 +159,10 @@ func (f *Flatten) Grads() []*tensor.Tensor { return nil }
 // rescales survivors by 1/(1-P) (inverted dropout), acting as identity at
 // inference time.
 type Dropout struct {
-	P    float64
-	rng  *rand.Rand
-	mask []float32
+	P     float64
+	rng   *rand.Rand
+	mask  []float32
+	y, dx *tensor.Tensor // recycled train-time buffers
 }
 
 // NewDropout returns a Dropout layer with drop probability p in [0, 1).
@@ -157,19 +182,20 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.mask = nil
 		return x
 	}
-	y := x.Clone()
+	d.y = tensor.DefaultArena().Reuse(d.y, x.Shape...)
+	y := d.y
 	if cap(d.mask) < y.Len() {
 		d.mask = make([]float32, y.Len())
 	}
 	d.mask = d.mask[:y.Len()]
 	scale := float32(1 / (1 - d.P))
-	for i := range y.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < d.P {
 			d.mask[i] = 0
 			y.Data[i] = 0
 		} else {
 			d.mask[i] = scale
-			y.Data[i] *= scale
+			y.Data[i] = v * scale
 		}
 	}
 	return y
@@ -180,9 +206,10 @@ func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return dy
 	}
-	dx := dy.Clone()
-	for i := range dx.Data {
-		dx.Data[i] *= d.mask[i]
+	d.dx = tensor.DefaultArena().Reuse(d.dx, dy.Shape...)
+	dx := d.dx
+	for i, v := range dy.Data {
+		dx.Data[i] = v * d.mask[i]
 	}
 	return dx
 }

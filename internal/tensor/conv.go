@@ -38,24 +38,25 @@ func (s ConvSpec) Validate(h, w int) error {
 	return nil
 }
 
-// Im2Col expands one sample x [C,H,W] into a column matrix
-// [C*KH*KW, OH*OW] so a convolution becomes a single matrix multiply.
-// cols must be pre-shaped; it is overwritten.
-func Im2Col(cols, x *Tensor, c, h, w int, spec ConvSpec) {
+// im2colInto expands one sample x [C,H,W] into column-matrix rows of
+// length OH*OW written at row stride ld starting at dst[0]. With
+// ld == OH*OW this is the classic dense [C*KH*KW, OH*OW] layout; the
+// batched path passes ld == N*OH*OW so each sample fills its own column
+// block of a shared matrix.
+func im2colInto(dst []float32, ld int, x []float32, c, h, w int, spec ConvSpec) {
 	oh, ow := spec.OutDims(h, w)
-	colW := oh * ow
 	idx := 0
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
 		for ky := 0; ky < spec.KH; ky++ {
 			for kx := 0; kx < spec.KW; kx++ {
-				dst := cols.Data[idx*colW : (idx+1)*colW]
+				row := dst[idx*ld:]
 				di := 0
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*spec.Stride + ky - spec.PadH
 					if iy < 0 || iy >= h {
 						for ox := 0; ox < ow; ox++ {
-							dst[di] = 0
+							row[di] = 0
 							di++
 						}
 						continue
@@ -64,9 +65,9 @@ func Im2Col(cols, x *Tensor, c, h, w int, spec ConvSpec) {
 					for ox := 0; ox < ow; ox++ {
 						ix := ox*spec.Stride + kx - spec.PadW
 						if ix < 0 || ix >= w {
-							dst[di] = 0
+							row[di] = 0
 						} else {
-							dst[di] = x.Data[rowBase+ix]
+							row[di] = x[rowBase+ix]
 						}
 						di++
 					}
@@ -77,19 +78,17 @@ func Im2Col(cols, x *Tensor, c, h, w int, spec ConvSpec) {
 	}
 }
 
-// Col2Im scatters a column-matrix gradient [C*KH*KW, OH*OW] back into an
-// input-shaped gradient dx [C,H,W], accumulating overlapping windows.
-// dx must be zeroed by the caller if accumulation from a clean slate is
-// desired.
-func Col2Im(dx, cols *Tensor, c, h, w int, spec ConvSpec) {
+// col2imFrom scatters column-matrix rows (length OH*OW, row stride ld,
+// starting at src[0]) back into an input-shaped gradient dx [C,H,W],
+// accumulating overlapping windows.
+func col2imFrom(dx []float32, src []float32, ld int, c, h, w int, spec ConvSpec) {
 	oh, ow := spec.OutDims(h, w)
-	colW := oh * ow
 	idx := 0
 	for ch := 0; ch < c; ch++ {
 		base := ch * h * w
 		for ky := 0; ky < spec.KH; ky++ {
 			for kx := 0; kx < spec.KW; kx++ {
-				src := cols.Data[idx*colW : (idx+1)*colW]
+				row := src[idx*ld:]
 				si := 0
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*spec.Stride + ky - spec.PadH
@@ -101,7 +100,7 @@ func Col2Im(dx, cols *Tensor, c, h, w int, spec ConvSpec) {
 					for ox := 0; ox < ow; ox++ {
 						ix := ox*spec.Stride + kx - spec.PadW
 						if ix >= 0 && ix < w {
-							dx.Data[rowBase+ix] += src[si]
+							dx[rowBase+ix] += row[si]
 						}
 						si++
 					}
@@ -112,139 +111,221 @@ func Col2Im(dx, cols *Tensor, c, h, w int, spec ConvSpec) {
 	}
 }
 
+// Im2Col expands one sample x [C,H,W] into a column matrix
+// [C*KH*KW, OH*OW] so a convolution becomes a single matrix multiply.
+// cols must be pre-shaped; it is overwritten.
+func Im2Col(cols, x *Tensor, c, h, w int, spec ConvSpec) {
+	oh, ow := spec.OutDims(h, w)
+	im2colInto(cols.Data, oh*ow, x.Data, c, h, w, spec)
+}
+
+// Col2Im scatters a column-matrix gradient [C*KH*KW, OH*OW] back into an
+// input-shaped gradient dx [C,H,W], accumulating overlapping windows.
+// dx must be zeroed by the caller if accumulation from a clean slate is
+// desired.
+func Col2Im(dx, cols *Tensor, c, h, w int, spec ConvSpec) {
+	oh, ow := spec.OutDims(h, w)
+	col2imFrom(dx.Data, cols.Data, oh*ow, c, h, w, spec)
+}
+
+// Im2ColBatch expands the whole batch x [N,C,H,W] into one shared column
+// matrix cols [C*KH*KW, N*OH*OW] where sample i owns the column block
+// [i*OH*OW, (i+1)*OH*OW). The fill is sample-parallel: workers write
+// disjoint column ranges of every row.
+func Im2ColBatch(cols, x *Tensor, c, h, w int, spec ConvSpec) {
+	n := x.Shape[0]
+	oh, ow := spec.OutDims(h, w)
+	colW := oh * ow
+	ld := n * colW
+	// The single-worker branch repeats the loop rather than sharing a
+	// closure with the parallel branch: any closure handed to
+	// ParallelForMin escapes to a goroutine and heap-allocates even when
+	// it ends up running inline, which would break the zero-alloc
+	// training steady state.
+	if MaxWorkers() == 1 {
+		for i := 0; i < n; i++ {
+			im2colInto(cols.Data[i*colW:], ld, x.Data[i*c*h*w:(i+1)*c*h*w], c, h, w, spec)
+		}
+		return
+	}
+	ParallelForMin(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			im2colInto(cols.Data[i*colW:], ld, x.Data[i*c*h*w:(i+1)*c*h*w], c, h, w, spec)
+		}
+	})
+}
+
 // Conv2DForward computes a batched 2D convolution.
 //
 //	x: [N, C, H, W], weights: [F, C*KH*KW], bias: [F] (may be nil)
-//	returns y: [N, F, OH, OW] and, when keepCols is true, the per-sample
-//	im2col matrices needed by the backward pass.
+//	returns y: [N, F, OH, OW] and, when keepCols is true, the shared
+//	batch column matrix [C*KH*KW, N*OH*OW] needed by the backward pass.
 //
-// Samples are processed in parallel across the worker pool; each worker
-// allocates its own scratch column matrix.
-func Conv2DForward(x, weights, bias *Tensor, c, h, w int, spec ConvSpec, keepCols bool) (y *Tensor, cols []*Tensor) {
+// Scratch comes from the default arena; see Conv2DForwardArena.
+func Conv2DForward(x, weights, bias *Tensor, c, h, w int, spec ConvSpec, keepCols bool) (y, cols *Tensor) {
+	return Conv2DForwardArena(nil, x, weights, bias, c, h, w, spec, keepCols)
+}
+
+// Conv2DForwardArena is Conv2DForward with an explicit scratch arena
+// (nil selects the default arena). The whole batch runs as a single
+// weights×cols GEMM over the shared column matrix rather than one small
+// multiply per sample. The returned y (and cols, when kept) are arena
+// tensors owned by the caller; recycling them with ar.Put when dead is
+// optional but keeps steady-state training allocation-free.
+func Conv2DForwardArena(ar *Arena, x, weights, bias *Tensor, c, h, w int, spec ConvSpec, keepCols bool) (y, cols *Tensor) {
+	if ar == nil {
+		ar = defaultArena
+	}
 	n := x.Shape[0]
 	f := weights.Shape[0]
+	colRows := weights.Shape[1]
 	oh, ow := spec.OutDims(h, w)
-	y = New(n, f, oh, ow)
-	if keepCols {
-		cols = make([]*Tensor, n)
-	}
-	colRows := c * spec.KH * spec.KW
 	colW := oh * ow
-	ParallelFor(n, func(lo, hi int) {
-		scratch := New(colRows, colW)
-		for i := lo; i < hi; i++ {
-			cm := scratch
-			if keepCols {
-				cm = New(colRows, colW)
-				cols[i] = cm
-			}
-			xi := FromSlice(x.Data[i*c*h*w:(i+1)*c*h*w], c, h, w)
-			Im2Col(cm, xi, c, h, w, spec)
-			yi := FromSlice(y.Data[i*f*colW:(i+1)*f*colW], f, colW)
-			matmulInto(yi, weights, cm)
-			if bias != nil {
-				for fi := 0; fi < f; fi++ {
-					b := bias.Data[fi]
-					row := yi.Data[fi*colW : (fi+1)*colW]
-					for j := range row {
-						row[j] += b
-					}
-				}
-			}
+
+	cols = ar.Get(colRows, n*colW)
+	Im2ColBatch(cols, x, c, h, w, spec)
+
+	// yT[fi, i*colW+j] is the pre-permute output: one GEMM for the batch.
+	yT := ar.Get(f, n*colW)
+	gemm(yT.Data, n*colW, f, n*colW, colRows,
+		gemmView{data: weights.Data, rs: colRows, cs: 1},
+		gemmView{data: cols.Data, rs: n * colW, cs: 1},
+		false, ar)
+
+	// Permute [F, N*OH*OW] → [N, F, OH, OW] and add bias, sample-parallel.
+	// The closure captures plain locals, not the named results: capturing
+	// a named return would box it on the heap on every call.
+	out := ar.Get(n, f, oh, ow)
+	if MaxWorkers() == 1 {
+		for i := 0; i < n; i++ {
+			convScatterOut(out.Data, yT.Data, bias, i, f, colW, n*colW)
 		}
-	})
+	} else {
+		ParallelForMin(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				convScatterOut(out.Data, yT.Data, bias, i, f, colW, n*colW)
+			}
+		})
+	}
+	y = out
+	ar.Put(yT)
+	if !keepCols {
+		ar.Put(cols)
+		return y, nil
+	}
 	return y, cols
 }
 
-// matmulInto is a serial matmul used inside already-parallel per-sample
-// loops (nested parallelism would oversubscribe the pool).
-func matmulInto(dst, a, b *Tensor) {
-	m, k := a.Shape[0], a.Shape[1]
-	n := b.Shape[1]
-	dst.Zero()
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		ci := dst.Data[i*n : (i+1)*n]
-		for p, av := range ai {
-			if av == 0 {
-				continue
+// convScatterOut copies sample i's rows out of the pre-permute GEMM
+// output yT [F, ld] into y's [i, F, OH*OW] block, adding bias when
+// present.
+func convScatterOut(y, yT []float32, bias *Tensor, i, f, colW, ld int) {
+	for fi := 0; fi < f; fi++ {
+		src := yT[fi*ld+i*colW : fi*ld+(i+1)*colW]
+		dst := y[(i*f+fi)*colW : (i*f+fi+1)*colW]
+		if bias != nil {
+			b := bias.Data[fi]
+			for j, v := range src {
+				dst[j] = v + b
 			}
-			axpy(av, b.Data[p*n:(p+1)*n], ci)
+		} else {
+			copy(dst, src)
 		}
 	}
 }
 
-// Conv2DBackward computes gradients for a batched 2D convolution given the
-// upstream gradient dy [N, F, OH, OW] and the saved im2col matrices.
-// It accumulates into dW [F, C*KH*KW] and dB [F] (dB may be nil) and
-// returns dx [N, C, H, W].
-func Conv2DBackward(dy, weights *Tensor, cols []*Tensor, dW, dB *Tensor, c, h, w int, spec ConvSpec) (dx *Tensor) {
+// Conv2DBackward computes gradients for a batched 2D convolution given
+// the upstream gradient dy [N, F, OH, OW] and the shared column matrix
+// saved by the forward pass. It accumulates into dW [F, C*KH*KW] and
+// dB [F] (dB may be nil) and returns dx [N, C, H, W]. Scratch comes from
+// the default arena; see Conv2DBackwardArena.
+func Conv2DBackward(dy, weights, cols *Tensor, dW, dB *Tensor, c, h, w int, spec ConvSpec) (dx *Tensor) {
+	return Conv2DBackwardArena(nil, dy, weights, cols, dW, dB, c, h, w, spec)
+}
+
+// convGatherIn copies sample i's [F, OH*OW] gradient block of dy into
+// the column layout dyT [F, ld] matching the shared column matrix.
+func convGatherIn(dyT, dy []float32, i, f, colW, ld int) {
+	for fi := 0; fi < f; fi++ {
+		copy(dyT[fi*ld+i*colW:fi*ld+(i+1)*colW], dy[(i*f+fi)*colW:(i*f+fi+1)*colW])
+	}
+}
+
+// Conv2DBackwardArena is Conv2DBackward with an explicit scratch arena
+// (nil selects the default arena). The gradient reduces to two GEMMs over
+// the batch — dW += dyT·colsᵀ and dcols = Wᵀ·dyT — followed by a
+// sample-parallel Col2Im scatter into dx. Both GEMMs keep the fixed
+// per-cell ascending reduction order, and dB sums each filter's gradient
+// row left to right, so all accumulation is bitwise deterministic for any
+// worker count (the old per-worker-partial scheme merged in pool order).
+// The returned dx is an arena tensor owned by the caller.
+func Conv2DBackwardArena(ar *Arena, dy, weights, cols *Tensor, dW, dB *Tensor, c, h, w int, spec ConvSpec) (dx *Tensor) {
+	if ar == nil {
+		ar = defaultArena
+	}
 	n := dy.Shape[0]
 	f := weights.Shape[0]
+	colRows := weights.Shape[1]
 	oh, ow := spec.OutDims(h, w)
 	colW := oh * ow
-	colRows := c * spec.KH * spec.KW
-	dx = New(n, c, h, w)
 
-	// dx is computed sample-parallel; dW/dB accumulation is done with
-	// per-worker partials merged at the end to avoid atomics in the hot
-	// loop.
-	workers := MaxWorkers()
-	partialW := make([]*Tensor, workers)
-	partialB := make([]*Tensor, workers)
-	slots := make(chan int, workers)
-	for i := 0; i < workers; i++ {
-		slots <- i
+	// Permute dy [N, F, OH*OW] → dyT [F, N*OH*OW], matching the column
+	// layout of cols. Sample-parallel: workers write disjoint column
+	// blocks of every row.
+	dyT := ar.Get(f, n*colW)
+	if MaxWorkers() == 1 {
+		for i := 0; i < n; i++ {
+			convGatherIn(dyT.Data, dy.Data, i, f, colW, n*colW)
+		}
+	} else {
+		ParallelForMin(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				convGatherIn(dyT.Data, dy.Data, i, f, colW, n*colW)
+			}
+		})
 	}
-	ParallelFor(n, func(lo, hi int) {
-		slot := <-slots
-		if partialW[slot] == nil {
-			partialW[slot] = New(f, colRows)
-			partialB[slot] = New(f)
-		}
-		pw, pb := partialW[slot], partialB[slot]
-		dcols := New(colRows, colW)
-		for i := lo; i < hi; i++ {
-			dyi := FromSlice(dy.Data[i*f*colW:(i+1)*f*colW], f, colW)
-			// dW += dy_i · cols_iᵀ
-			for fi := 0; fi < f; fi++ {
-				dyRow := dyi.Data[fi*colW : (fi+1)*colW]
-				pwRow := pw.Data[fi*colRows : (fi+1)*colRows]
-				for r := 0; r < colRows; r++ {
-					pwRow[r] += dot32(dyRow, cols[i].Data[r*colW:(r+1)*colW])
-				}
-				var bs float32
-				for _, v := range dyRow {
-					bs += v
-				}
-				pb.Data[fi] += bs
+
+	// dW += dyT · colsᵀ — one accumulating GEMM for the whole batch.
+	gemm(dW.Data, colRows, f, colRows, n*colW,
+		gemmView{data: dyT.Data, rs: n * colW, cs: 1},
+		gemmView{data: cols.Data, rs: 1, cs: n * colW}, // colsᵀ
+		true, ar)
+
+	// dB += per-filter sums, each row reduced in ascending column order.
+	// Filter counts are small, so this stays serial.
+	if dB != nil {
+		for fi := 0; fi < f; fi++ {
+			var s float32
+			for _, v := range dyT.Data[fi*n*colW : (fi+1)*n*colW] {
+				s += v
 			}
-			// dcols = Wᵀ · dy_i
-			dcols.Zero()
-			for fi := 0; fi < f; fi++ {
-				wRow := weights.Data[fi*colRows : (fi+1)*colRows]
-				dyRow := dyi.Data[fi*colW : (fi+1)*colW]
-				for r, wv := range wRow {
-					if wv == 0 {
-						continue
-					}
-					axpy(wv, dyRow, dcols.Data[r*colW:(r+1)*colW])
-				}
-			}
-			dxi := FromSlice(dx.Data[i*c*h*w:(i+1)*c*h*w], c, h, w)
-			Col2Im(dxi, dcols, c, h, w, spec)
-		}
-		slots <- slot
-	})
-	for i := 0; i < workers; i++ {
-		if partialW[i] != nil {
-			dW.Add(partialW[i])
-			if dB != nil {
-				dB.Add(partialB[i])
-			}
+			dB.Data[fi] += s
 		}
 	}
-	return dx
+
+	// dcols = Wᵀ · dyT, then scatter each sample's column block into dx.
+	dcols := ar.Get(colRows, n*colW)
+	gemm(dcols.Data, n*colW, colRows, n*colW, f,
+		gemmView{data: weights.Data, rs: 1, cs: colRows}, // Wᵀ
+		gemmView{data: dyT.Data, rs: n * colW, cs: 1},
+		false, ar)
+	ar.Put(dyT)
+
+	out := ar.Get(n, c, h, w)
+	out.Zero()
+	if MaxWorkers() == 1 {
+		for i := 0; i < n; i++ {
+			col2imFrom(out.Data[i*c*h*w:(i+1)*c*h*w], dcols.Data[i*colW:], n*colW, c, h, w, spec)
+		}
+	} else {
+		ParallelForMin(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				col2imFrom(out.Data[i*c*h*w:(i+1)*c*h*w], dcols.Data[i*colW:], n*colW, c, h, w, spec)
+			}
+		})
+	}
+	ar.Put(dcols)
+	return out
 }
 
 // MaxPool2DForward applies max pooling to x [N, C, H, W] with the given
@@ -295,11 +376,17 @@ func MaxPool2DForward(x *Tensor, c, h, w int, spec ConvSpec) (y *Tensor, argmax 
 }
 
 // MaxPool2DBackward routes the upstream gradient dy through the argmax
-// indices recorded by the forward pass, returning dx with the input shape.
+// indices recorded by the forward pass, returning dx with the input
+// shape. The scatter is sample-parallel: sample i's argmax indices all
+// fall inside its own dx block [i*C*H*W, (i+1)*C*H*W), so workers own
+// disjoint dx regions.
 func MaxPool2DBackward(dy *Tensor, argmax []int32, n, c, h, w int) *Tensor {
 	dx := New(n, c, h, w)
-	for i, g := range dy.Data {
-		dx.Data[argmax[i]] += g
-	}
+	per := len(dy.Data) / max(n, 1)
+	ParallelForMin(n, 1, func(lo, hi int) {
+		for o := lo * per; o < hi*per; o++ {
+			dx.Data[argmax[o]] += dy.Data[o]
+		}
+	})
 	return dx
 }

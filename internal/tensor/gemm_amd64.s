@@ -1,0 +1,110 @@
+// AVX+FMA3 micro-kernel for the blocked GEMM (see gemm.go). Only used
+// after gemm_amd64.go verifies CPU and OS support at init.
+
+#include "textflag.h"
+
+// func fmaTile4x16(kc int64, pa, pb, c *float32, ldc int64, zeroAcc int64)
+//
+// Computes, for r in 0..3 and s in 0..15:
+//
+//	C[r*ldc+s] = fma(pa[p*4+r], pb[p*16+s], ...) folded over p = 0..kc-1,
+//
+// seeding each accumulator with C (zeroAcc == 0) or 0 (zeroAcc != 0).
+// One FMA per output cell per p step, ascending p — the exact reduction
+// order fmaTileGeneric emulates, so the two paths are bitwise identical.
+//
+// Register plan: Y8..Y15 hold the 4×16 accumulator tile (4 rows × two
+// 8-float lanes); Y0/Y1 hold the current packed-B row; Y2..Y5 broadcast
+// the four packed-A values.
+TEXT ·fmaTile4x16(SB), NOSPLIT, $0-48
+	MOVQ kc+0(FP), CX
+	MOVQ pa+8(FP), SI
+	MOVQ pb+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8              // row stride in bytes
+	MOVQ zeroAcc+40(FP), R9
+
+	LEAQ (DX)(R8*1), R10     // row 1
+	LEAQ (R10)(R8*1), R11    // row 2
+	LEAQ (R11)(R8*1), R12    // row 3
+
+	TESTQ R9, R9
+	JNZ   zero
+
+	VMOVUPS (DX), Y8
+	VMOVUPS 32(DX), Y9
+	VMOVUPS (R10), Y10
+	VMOVUPS 32(R10), Y11
+	VMOVUPS (R11), Y12
+	VMOVUPS 32(R11), Y13
+	VMOVUPS (R12), Y14
+	VMOVUPS 32(R12), Y15
+	JMP     loop
+
+zero:
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+	VXORPS Y12, Y12, Y12
+	VXORPS Y13, Y13, Y13
+	VXORPS Y14, Y14, Y14
+	VXORPS Y15, Y15, Y15
+
+loop:
+	TESTQ CX, CX
+	JZ    done
+
+	VMOVUPS (DI), Y0         // B row, lanes 0..7
+	VMOVUPS 32(DI), Y1       // B row, lanes 8..15
+
+	VBROADCASTSS (SI), Y2    // A row 0
+	VBROADCASTSS 4(SI), Y3   // A row 1
+	VFMADD231PS  Y0, Y2, Y8  // Y8 += Y2*Y0
+	VFMADD231PS  Y1, Y2, Y9
+	VFMADD231PS  Y0, Y3, Y10
+	VFMADD231PS  Y1, Y3, Y11
+
+	VBROADCASTSS 8(SI), Y4   // A row 2
+	VBROADCASTSS 12(SI), Y5  // A row 3
+	VFMADD231PS  Y0, Y4, Y12
+	VFMADD231PS  Y1, Y4, Y13
+	VFMADD231PS  Y0, Y5, Y14
+	VFMADD231PS  Y1, Y5, Y15
+
+	ADDQ $16, SI             // next packed-A group (4 floats)
+	ADDQ $64, DI             // next packed-B group (16 floats)
+	DECQ CX
+	JMP  loop
+
+done:
+	VMOVUPS Y8, (DX)
+	VMOVUPS Y9, 32(DX)
+	VMOVUPS Y10, (R10)
+	VMOVUPS Y11, 32(R10)
+	VMOVUPS Y12, (R11)
+	VMOVUPS Y13, 32(R11)
+	VMOVUPS Y14, (R12)
+	VMOVUPS Y15, 32(R12)
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL  leaf+0(FP), AX
+	XORL  CX, CX
+	CPUID
+	MOVL  AX, eax+8(FP)
+	MOVL  BX, ebx+12(FP)
+	MOVL  CX, ecx+16(FP)
+	MOVL  DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL    CX, CX
+	XGETBV
+	MOVL    AX, eax+0(FP)
+	MOVL    DX, edx+4(FP)
+	RET

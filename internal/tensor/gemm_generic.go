@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+// fmaTile4x16 is only reachable when useFMAKernel is true, which never
+// happens off amd64 (the flag is left false and nothing sets it except
+// the amd64 init and tests that first check the platform).
+func fmaTile4x16(kc int64, pa, pb, c *float32, ldc int64, zeroAcc int64) {
+	panic("tensor: fmaTile4x16 called without FMA kernel support")
+}

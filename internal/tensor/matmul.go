@@ -3,9 +3,9 @@ package tensor
 import "fmt"
 
 // MatMul computes C = A·B for rank-2 tensors A [m,k] and B [k,n], writing
-// into dst [m,n] (allocated if nil) and returning it. The kernel is
-// parallelized over row blocks of A and uses a cache-friendly ikj loop
-// order with an unrolled inner accumulation.
+// into dst [m,n] (allocated if nil) and returning it. The blocked GEMM
+// core (gemm.go) writes every destination cell, so caller-provided dst is
+// not pre-zeroed — its prior contents are simply overwritten.
 func MatMul(dst, a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: MatMul requires rank-2 operands")
@@ -17,47 +17,34 @@ func MatMul(dst, a, b *Tensor) *Tensor {
 	}
 	if dst == nil {
 		dst = New(m, n)
-	} else {
-		if dst.Shape[0] != m || dst.Shape[1] != n {
-			panic("tensor: MatMul dst shape mismatch")
-		}
-		dst.Zero()
+	} else if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic("tensor: MatMul dst shape mismatch")
 	}
-	ParallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Data[i*k : (i+1)*k]
-			ci := dst.Data[i*n : (i+1)*n]
-			for p, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bp := b.Data[p*n : (p+1)*n]
-				axpy(av, bp, ci)
-			}
-		}
-	})
+	gemm(dst.Data, n, m, n, k,
+		gemmView{data: a.Data, rs: k, cs: 1},
+		gemmView{data: b.Data, rs: n, cs: 1},
+		false, nil)
 	return dst
-}
-
-// axpy computes y += a*x over equal-length slices with 4-way unrolling.
-func axpy(a float32, x, y []float32) {
-	n := len(x)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		y[i] += a * x[i]
-		y[i+1] += a * x[i+1]
-		y[i+2] += a * x[i+2]
-		y[i+3] += a * x[i+3]
-	}
-	for ; i < n; i++ {
-		y[i] += a * x[i]
-	}
 }
 
 // MatMulTransA computes C = Aᵀ·B for A [k,m] and B [k,n] into dst [m,n].
 // It is the kernel used for weight gradients (xᵀ·dy) and avoids forming
 // the transpose explicitly.
 func MatMulTransA(dst, a, b *Tensor) *Tensor {
+	return matMulTransA(dst, a, b, false)
+}
+
+// MatMulTransAAcc computes dst += Aᵀ·B into a caller-provided dst [m,n].
+// The accumulate form lets gradient updates (dW += xᵀ·dy) run as a single
+// GEMM instead of a multiply into scratch followed by an Add.
+func MatMulTransAAcc(dst, a, b *Tensor) *Tensor {
+	if dst == nil {
+		panic("tensor: MatMulTransAAcc requires a destination")
+	}
+	return matMulTransA(dst, a, b, true)
+}
+
+func matMulTransA(dst, a, b *Tensor, acc bool) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: MatMulTransA requires rank-2 operands")
 	}
@@ -68,27 +55,13 @@ func MatMulTransA(dst, a, b *Tensor) *Tensor {
 	}
 	if dst == nil {
 		dst = New(m, n)
-	} else {
-		if dst.Shape[0] != m || dst.Shape[1] != n {
-			panic("tensor: MatMulTransA dst shape mismatch")
-		}
-		dst.Zero()
+	} else if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic("tensor: MatMulTransA dst shape mismatch")
 	}
-	// Parallelize over rows of the output (columns of A). Each worker owns
-	// a disjoint slice of dst, so no synchronization is needed.
-	ParallelFor(m, func(lo, hi int) {
-		for p := 0; p < k; p++ {
-			ap := a.Data[p*m : (p+1)*m]
-			bp := b.Data[p*n : (p+1)*n]
-			for i := lo; i < hi; i++ {
-				av := ap[i]
-				if av == 0 {
-					continue
-				}
-				axpy(av, bp, dst.Data[i*n:(i+1)*n])
-			}
-		}
-	})
+	gemm(dst.Data, n, m, n, k,
+		gemmView{data: a.Data, rs: 1, cs: m}, // Aᵀ: element (i,p) at a[p*m+i]
+		gemmView{data: b.Data, rs: n, cs: 1},
+		acc, nil)
 	return dst
 }
 
@@ -105,40 +78,14 @@ func MatMulTransB(dst, a, b *Tensor) *Tensor {
 	}
 	if dst == nil {
 		dst = New(m, n)
-	} else {
-		if dst.Shape[0] != m || dst.Shape[1] != n {
-			panic("tensor: MatMulTransB dst shape mismatch")
-		}
+	} else if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic("tensor: MatMulTransB dst shape mismatch")
 	}
-	ParallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Data[i*k : (i+1)*k]
-			ci := dst.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				ci[j] = dot32(ai, b.Data[j*k:(j+1)*k])
-			}
-		}
-	})
+	gemm(dst.Data, n, m, n, k,
+		gemmView{data: a.Data, rs: k, cs: 1},
+		gemmView{data: b.Data, rs: 1, cs: k}, // Bᵀ: element (p,j) at b[j*k+p]
+		false, nil)
 	return dst
-}
-
-// dot32 returns the float32 dot product of equal-length slices with 4-way
-// unrolling into independent accumulators.
-func dot32(x, y []float32) float32 {
-	var s0, s1, s2, s3 float32
-	n := len(x)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += x[i] * y[i]
-		s1 += x[i+1] * y[i+1]
-		s2 += x[i+2] * y[i+2]
-		s3 += x[i+3] * y[i+3]
-	}
-	s := s0 + s1 + s2 + s3
-	for ; i < n; i++ {
-		s += x[i] * y[i]
-	}
-	return s
 }
 
 // Transpose returns a new tensor holding the transpose of a rank-2 tensor.
@@ -187,6 +134,20 @@ func (t *Tensor) SumRows(dst *Tensor) *Tensor {
 		dst = New(n)
 	} else {
 		dst.Zero()
+	}
+	return t.SumRowsAcc(dst)
+}
+
+// SumRowsAcc adds the row sums of a rank-2 tensor [m,n] to dst (length n)
+// and returns dst. The accumulate form serves bias-gradient updates
+// (dB += Σ rows of dy) without intermediate scratch.
+func (t *Tensor) SumRowsAcc(dst *Tensor) *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: SumRowsAcc requires a rank-2 tensor")
+	}
+	n := t.Shape[1]
+	if len(dst.Data) != n {
+		panic("tensor: SumRowsAcc length mismatch")
 	}
 	for i := 0; i < t.Shape[0]; i++ {
 		row := t.Data[i*n : (i+1)*n]

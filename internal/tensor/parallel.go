@@ -58,15 +58,26 @@ func (e *PanicError) Error() string {
 // experiment harness isolates per-figure panics) can contain the
 // failure.
 func ParallelFor(n int, fn func(lo, hi int)) {
+	// Chunks below this size are not worth a goroutine each when each
+	// item is cheap (the elementwise default).
+	ParallelForMin(n, 64, fn)
+}
+
+// ParallelForMin is ParallelFor with a caller-chosen minimum chunk size.
+// Kernels whose per-item cost is large (one conv sample, one GEMM column
+// stripe) pass minChunk 1 so small item counts still fan out; cheap
+// elementwise loops keep the conservative ParallelFor default.
+func ParallelForMin(n, minChunk int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
 	}
 	workers := int(maxWorkers.Load())
 	if workers > n {
 		workers = n
 	}
-	// Chunks below this size are not worth a goroutine each.
-	const minChunk = 64
 	if workers > 1 && n/workers < minChunk {
 		workers = n / minChunk
 		if workers < 1 {

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# bench.sh — kernel benchmark runner for the perf trajectory.
+#
+# Runs the compute-core benchmarks (GEMM, batched conv, dense training
+# step, and the Fig. 4 end-to-end training probe) and rewrites
+# BENCH_kernels.json with {ns_op, allocs_op} per benchmark, so each PR
+# can diff throughput against the committed numbers of the previous one.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 1s; pass e.g. 1x for a
+# smoke run that only checks the benchmarks still execute)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-1s}"
+pattern='^(BenchmarkGEMM|BenchmarkConvForward$|BenchmarkConvBackward$|BenchmarkMatMul128$|BenchmarkConv2DForward$|BenchmarkDenseTrainStep$|BenchmarkFig4TrainBinary$)'
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime="$benchtime" . | tee "$tmp"
+
+# Only rewrite the committed snapshot on real timing runs; -benchtime=1x
+# numbers are startup noise.
+if [ "$benchtime" = "1x" ]; then
+    echo "smoke run: BENCH_kernels.json left untouched"
+    exit 0
+fi
+
+awk '
+BEGIN { print "{"; sep = "" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = "null"; allocs = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    printf "%s  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}", sep, name, ns, allocs
+    sep = ",\n"
+}
+END { print "\n}" }
+' "$tmp" > BENCH_kernels.json
+
+echo "wrote BENCH_kernels.json"

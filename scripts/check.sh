@@ -14,7 +14,10 @@
 #   7. crash matrix   (fault-injection sweep: every injectable fault
 #                      point during a checkpoint save, plus mid-save
 #                      crash recovery of the online-retrain loop)
-#   8. go test -fuzz  (short smoke run of each fuzz target: the mapping
+#   8. bench smoke    (one iteration of each kernel benchmark via
+#                      scripts/bench.sh 1x; real timings are recorded
+#                      separately into BENCH_kernels.json)
+#   9. go test -fuzz  (short smoke run of each fuzz target: the mapping
 #                      crop/pad grid, the feature-directive parser, and
 #                      corrupt-checkpoint loading)
 #
@@ -54,6 +57,11 @@ go test -race ./...
 # gate and guards against the tests being skipped or renamed away).
 echo "== crash matrix (fault injection)"
 go test -count=1 -run 'TestSaveFileCrashMatrix|TestOnlineRetrainCrashRecovery|TestInterruptResumeBitwiseIdentical' ./internal/prionn/
+
+# Benchmark smoke: one iteration of each kernel benchmark proves the
+# perf-trajectory harness still runs; timings come from scripts/bench.sh.
+echo "== benchmark smoke (1 iteration)"
+sh scripts/bench.sh 1x > /dev/null
 
 # Fuzz smoke runs: a few seconds per target keeps the gate fast while
 # still exercising the engine-generated corpus. One package per
