@@ -1,0 +1,339 @@
+// Command prionnd is PRIONN's batched inference daemon: it publishes a
+// trained model snapshot behind the internal/serve coalescer and
+// answers per-job prediction requests over HTTP, at submission time,
+// the way the paper's continuous deployment loop does (§2.3) — but
+// batched, so concurrent traffic rides the blocked-GEMM compute core
+// instead of N single-sample forwards.
+//
+// Usage:
+//
+//	prionnd -jobs 2000 -scale fast -addr :8356   # train on a synthetic trace, then serve
+//	prionnd -load model.ckpt -addr :8356         # serve a model saved by cmd/prionn
+//	prionnd -demo 5000 -clients 64               # in-process throughput demo, no HTTP
+//
+// Endpoints:
+//
+//	POST /predict  {"script": "...", "input_deck": "...", "requested_min": 60}
+//	               → {"runtime_min": 57, "read_bytes": ..., "write_bytes": ...,
+//	                  "read_bw": ..., "write_bw": ..., "from_model": true}
+//	               503 with a text body when the admission queue is full.
+//	GET  /stats    → JSON serving counters (queue depth, batch-size
+//	               histogram, per-stage latency, predictions served).
+//	GET  /healthz  → 200 ok
+//
+// Until the first training event has been published, predictions fall
+// back to the request's user-requested runtime ("from_model": false) —
+// the daemon never emits forward passes of untrained weights.
+//
+// SIGINT/SIGTERM drain gracefully: admission stops, queued requests are
+// answered, then the process exits, printing a final stats snapshot
+// when -stats is set.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"prionn/internal/prionn"
+	"prionn/internal/serve"
+	"prionn/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// predictRequest is the POST /predict wire format.
+type predictRequest struct {
+	Script       string `json:"script"`
+	InputDeck    string `json:"input_deck,omitempty"`
+	RequestedMin int    `json:"requested_min,omitempty"`
+}
+
+// predictResponse is the POST /predict reply.
+type predictResponse struct {
+	RuntimeMin int     `json:"runtime_min"`
+	ReadBytes  float64 `json:"read_bytes"`
+	WriteBytes float64 `json:"write_bytes"`
+	ReadBW     float64 `json:"read_bw"`
+	WriteBW    float64 `json:"write_bw"`
+	PowerW     float64 `json:"power_w,omitempty"`
+	FromModel  bool    `json:"from_model"`
+}
+
+// run is the testable body of main: parse argv, build the model and
+// server, and either run the in-process demo or serve HTTP until a
+// signal (or ready-callback-driven shutdown in tests). ready, when
+// non-nil, receives the bound listen address once the HTTP server
+// accepts connections; closing the returned stop function initiates
+// the same graceful drain a SIGINT would.
+func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop func())) int {
+	fs := flag.NewFlagSet("prionnd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	addr := fs.String("addr", ":8356", "HTTP listen address")
+	jobs := fs.Int("jobs", 2000, "synthetic trace length for initial training")
+	seed := fs.Int64("seed", 1, "seed for trace and model")
+	scale := fs.String("scale", "fast", "model scale: tiny, fast, paper")
+	load := fs.String("load", "", "serve a model checkpoint instead of training")
+	maxBatch := fs.Int("max-batch", 64, "largest coalesced minibatch")
+	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "coalescing flush deadline")
+	queueDepth := fs.Int("queue", 256, "admission queue depth (backpressure bound)")
+	statsEvery := fs.Duration("stats", 0, "print serving stats at this interval (0: only at shutdown)")
+	demo := fs.Int("demo", 0, "serve this many in-process requests from -clients goroutines, print throughput, exit")
+	clients := fs.Int("clients", 64, "concurrent clients for -demo")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	logf := func(format string, args ...interface{}) {
+		_, _ = fmt.Fprintf(stderr, "prionnd: "+format+"\n", args...)
+	}
+
+	view, all, err := buildSnapshot(*load, *scale, *seed, *jobs, logf)
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+
+	srv := serve.New(view, serve.Config{
+		MaxBatch:   *maxBatch,
+		MaxDelay:   *maxDelay,
+		QueueDepth: *queueDepth,
+	})
+
+	if *demo > 0 {
+		code := runDemo(srv, all, *demo, *clients, stdout, logf)
+		_ = srv.Stop(context.Background())
+		_, _ = fmt.Fprint(stdout, srv.Stats().String())
+		return code
+	}
+	return serveHTTP(srv, *addr, *statsEvery, stdout, logf, ready)
+}
+
+// buildSnapshot loads or trains a predictor and returns its published
+// inference snapshot plus the synthetic trace (for -demo request
+// generation).
+func buildSnapshot(load, scale string, seed int64, jobs int, logf func(string, ...interface{})) (*prionn.Inference, []trace.Job, error) {
+	all := trace.Generate(trace.Config{Seed: seed, Jobs: jobs})
+	var p *prionn.Predictor
+	if load != "" {
+		var err error
+		p, err = prionn.LoadFile(load)
+		if err != nil {
+			return nil, nil, err
+		}
+		logf("restored model from %s (%d training events)", load, p.Events())
+	} else {
+		var cfg prionn.Config
+		switch scale {
+		case "tiny":
+			cfg = prionn.TinyConfig()
+		case "fast":
+			cfg = prionn.FastConfig()
+		case "paper":
+			cfg = prionn.DefaultConfig()
+		default:
+			return nil, nil, fmt.Errorf("unknown scale %q (tiny, fast, paper)", scale)
+		}
+		cfg.Seed = seed
+		completed := trace.Completed(all)
+		window := completed
+		if len(window) > cfg.TrainWindow {
+			window = window[len(window)-cfg.TrainWindow:]
+		}
+		scripts := make([]string, len(completed))
+		for i, j := range completed {
+			scripts[i] = j.Script
+		}
+		var err error
+		p, err = prionn.New(cfg, scripts)
+		if err != nil {
+			return nil, nil, err
+		}
+		logf("training on %d most recently completed jobs...", len(window))
+		if _, err := p.Train(window); err != nil {
+			return nil, nil, err
+		}
+	}
+	view, err := p.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	return view, all, nil
+}
+
+// runDemo drives the server with in-process concurrent clients and
+// reports end-to-end serving throughput.
+func runDemo(srv *serve.Server, all []trace.Job, total, clients int, stdout io.Writer, logf func(string, ...interface{})) int {
+	if clients < 1 {
+		clients = 1
+	}
+	completed := trace.Completed(all)
+	if len(completed) == 0 {
+		logf("demo: empty trace")
+		return 1
+	}
+	logf("demo: %d requests from %d concurrent clients", total, clients)
+	var served, fellBack, failed atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				j := completed[int(i)%len(completed)]
+				resp, err := srv.Predict(context.Background(), serve.Request{
+					Script:       j.Script,
+					InputDeck:    j.InputDeck,
+					RequestedMin: j.RequestedMin,
+				})
+				switch {
+				case errors.Is(err, serve.ErrOverloaded):
+					// Back off and retry: demo clients model patient
+					// submitters, so total served is deterministic.
+					time.Sleep(200 * time.Microsecond)
+					next.Add(-1)
+				case err != nil:
+					failed.Add(1)
+				case resp.FromModel:
+					served.Add(1)
+				default:
+					fellBack.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rate := float64(served.Load()+fellBack.Load()) / elapsed.Seconds()
+	_, _ = fmt.Fprintf(stdout, "demo: %d predictions in %v (%.0f predictions/sec), %d fallback, %d failed\n",
+		served.Load()+fellBack.Load(), elapsed.Round(time.Millisecond), rate, fellBack.Load(), failed.Load())
+	if failed.Load() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// serveHTTP runs the HTTP front end until SIGINT/SIGTERM (or the
+// test-supplied stop function), then drains the coalescer.
+func serveHTTP(srv *serve.Server, addr string, statsEvery time.Duration, stdout io.Writer, logf func(string, ...interface{}), ready func(addr string, stop func())) int {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		var req predictRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := srv.Predict(r.Context(), serve.Request{
+			Script:       req.Script,
+			InputDeck:    req.InputDeck,
+			RequestedMin: req.RequestedMin,
+		})
+		switch {
+		case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrStopped):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(predictResponse{
+			RuntimeMin: resp.Pred.RuntimeMin,
+			ReadBytes:  resp.Pred.ReadBytes,
+			WriteBytes: resp.Pred.WriteBytes,
+			ReadBW:     resp.Pred.ReadBW(),
+			WriteBW:    resp.Pred.WriteBW(),
+			PowerW:     resp.Pred.PowerW,
+			FromModel:  resp.FromModel,
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(srv.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok\n")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+	hs := &http.Server{Handler: mux}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	stopCh := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(stopCh) }) }
+
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+	logf("serving on %s", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String(), stop)
+	}
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if statsEvery > 0 {
+		ticker = time.NewTicker(statsEvery)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+
+	code := 0
+loop:
+	for {
+		select {
+		case <-tick:
+			_, _ = fmt.Fprint(stdout, srv.Stats().String())
+		case sig := <-sigCh:
+			logf("received %v, draining...", sig)
+			break loop
+		case <-stopCh:
+			logf("stop requested, draining...")
+			break loop
+		case err := <-httpDone:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logf("http: %v", err)
+				code = 1
+			}
+			break loop
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		logf("http shutdown: %v", err)
+		code = 1
+	}
+	if err := srv.Stop(shutdownCtx); err != nil {
+		logf("drain: %v", err)
+		code = 1
+	}
+	_, _ = fmt.Fprint(stdout, srv.Stats().String())
+	return code
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// demoArgs keeps the daemon tests fast: tiny model, short trace.
+func demoArgs(extra ...string) []string {
+	base := []string{"-scale", "tiny", "-jobs", "150", "-seed", "5"}
+	return append(base, extra...)
+}
+
+// TestRunDemo exercises the full in-process path: train, snapshot,
+// coalesced serving under concurrent clients, drain, stats print.
+func TestRunDemo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(demoArgs("-demo", "300", "-clients", "16", "-max-batch", "16"), &stdout, &stderr, nil)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "predictions/sec") {
+		t.Fatalf("demo output missing throughput line:\n%s", out)
+	}
+	if !strings.Contains(out, "0 failed") {
+		t.Fatalf("demo reported failures:\n%s", out)
+	}
+	if !strings.Contains(out, "served 300") {
+		t.Fatalf("stats block should report 300 model predictions:\n%s", out)
+	}
+}
+
+// TestRunHTTP boots the daemon on an ephemeral port, predicts over
+// HTTP, reads stats, and shuts down via the test stop hook (the same
+// path a SIGINT takes).
+func TestRunHTTP(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	type started struct {
+		addr string
+		stop func()
+	}
+	readyCh := make(chan started, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var code int
+	go func() {
+		defer wg.Done()
+		code = run(demoArgs("-addr", "127.0.0.1:0", "-queue", "64"), &stdout, &stderr,
+			func(addr string, stop func()) { readyCh <- started{addr, stop} })
+	}()
+
+	var st started
+	select {
+	case st = <-readyCh:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon did not come up")
+	}
+	base := "http://" + st.addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(predictRequest{
+		Script:       "#!/bin/bash\nsrun ./lulesh.exe -s 32\n",
+		RequestedMin: 120,
+	})
+	var pr predictResponse
+	post, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", post.StatusCode)
+	}
+	if err := json.NewDecoder(post.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if !pr.FromModel {
+		t.Fatalf("trained daemon served a fallback: %+v", pr)
+	}
+	if pr.RuntimeMin <= 0 {
+		t.Fatalf("non-positive predicted runtime: %+v", pr)
+	}
+
+	// Malformed request → 400, not a wedged coalescer.
+	bad, err := http.Post(base+"/predict", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed predict status %d, want 400", bad.StatusCode)
+	}
+
+	stats, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]interface{}
+	if err := json.NewDecoder(stats.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	stats.Body.Close()
+	if served, ok := snap["served"].(float64); !ok || served < 1 {
+		t.Fatalf("stats served = %v, want >= 1", snap["served"])
+	}
+
+	st.stop()
+	wg.Wait()
+	if code != 0 {
+		t.Fatalf("daemon exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "served") {
+		t.Fatalf("shutdown must print a final stats block:\n%s", stdout.String())
+	}
+}
+
+// TestRunBadFlags pins CLI error handling.
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scale", "nope", "-demo", "1"}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("unknown scale: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown scale") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr, nil); code != 2 {
+		t.Fatal("bad flag must exit 2")
+	}
+}
+
+// TestRunLoadMissingCheckpoint: a bad -load path is a clean error.
+func TestRunLoadMissingCheckpoint(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-load", t.TempDir() + "/nope.ckpt", "-demo", "1"}, &stdout, &stderr, nil); code != 1 {
+		t.Fatalf("missing checkpoint: exit %d, want 1", code)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Failpoints are named crash points compiled into non-hot paths: code
@@ -24,6 +25,12 @@ type Failure struct {
 	// interrupt the Nth checkpoint or the Nth retraining event. 0 fires
 	// on the first hit.
 	After int
+	// Sleep stalls Here for this duration before acting — latency
+	// injection for overload and backpressure tests (a slow forward
+	// pass, a slow disk). A Failure with Sleep set but no Err and no
+	// Panic is pure latency: Here sleeps and then returns nil, so the
+	// instrumented path proceeds normally, just slower.
+	Sleep time.Duration
 }
 
 var (
@@ -89,11 +96,19 @@ func Here(name string) error {
 	if !hit {
 		return nil
 	}
+	if fire.Sleep > 0 {
+		// Outside the registry lock, so a stalled site never blocks
+		// arming or firing other sites.
+		time.Sleep(fire.Sleep)
+	}
 	if fire.Panic {
 		panic(fmt.Sprintf("fault: failpoint %q armed to panic", name))
 	}
 	if fire.Err != nil {
 		return fire.Err
+	}
+	if fire.Sleep > 0 {
+		return nil // pure latency injection
 	}
 	return fmt.Errorf("%w at failpoint %q", ErrInjected, name)
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestInjectorFailNthWrite(t *testing.T) {
@@ -164,4 +165,34 @@ func TestFailpointPanic(t *testing.T) {
 		}
 	}()
 	_ = Here("site/panic")
+}
+
+func TestFailpointSleepPureLatency(t *testing.T) {
+	defer DisarmAll()
+	Arm("site/slow", Failure{Sleep: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Here("site/slow"); err != nil {
+		t.Fatalf("pure-latency failpoint returned an error: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("Here returned after %v, want >= 20ms stall", d)
+	}
+	// A second hit stalls again: latency injection fires on every hit.
+	if err := Here("site/slow"); err != nil {
+		t.Fatalf("second hit errored: %v", err)
+	}
+}
+
+func TestFailpointSleepThenError(t *testing.T) {
+	defer DisarmAll()
+	sentinel := errors.New("slow boom")
+	Arm("site/slowerr", Failure{Sleep: 5 * time.Millisecond, Err: sentinel})
+	start := time.Now()
+	err := Here("site/slowerr")
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel after stall", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("error fired after %v, want >= 5ms stall first", d)
+	}
 }

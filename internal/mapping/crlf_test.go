@@ -1,0 +1,106 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CRLF regression suite: byte-identical script text must standardize
+// to the same grid (and therefore the same pixel image) regardless of
+// the line-ending convention of the authoring tool. Before the fix,
+// Standardize split on "\n" only, so CRLF scripts kept a trailing '\r'
+// per line that Binary mapped to 1 and Simple/OneHot mapped to its own
+// channel.
+
+// crlfVariants renders one logical script under the three line-ending
+// conventions.
+func crlfVariants(lines ...string) (lf, crlf, cr string) {
+	lf = strings.Join(lines, "\n")
+	crlf = strings.Join(lines, "\r\n")
+	cr = strings.Join(lines, "\r")
+	return
+}
+
+func TestStandardizeCRLFIdenticalToLF(t *testing.T) {
+	lf, crlf, cr := crlfVariants(
+		"#!/bin/bash",
+		"#SBATCH -N 4",
+		"srun ./lulesh.exe -s 32",
+	)
+	want := Standardize(lf, 8, 16)
+	for name, script := range map[string]string{"crlf": crlf, "lone-cr": cr} {
+		got := Standardize(script, 8, 16)
+		if string(got.Chars) != string(want.Chars) {
+			t.Errorf("%s grid differs from LF grid:\n got %q\nwant %q", name, got.Chars, want.Chars)
+		}
+	}
+}
+
+// TestStandardizeCRLFGolden pins the exact grid for a CRLF script: the
+// '\r' must vanish (not occupy a cell, not push characters over).
+func TestStandardizeCRLFGolden(t *testing.T) {
+	g := Standardize("ab\r\ncd\r\n", 4, 4)
+	want := "ab  cd          "
+	if string(g.Chars) != want {
+		t.Fatalf("grid %q, want %q", g.Chars, want)
+	}
+	if strings.ContainsRune(string(g.Chars), '\r') {
+		t.Fatalf("grid retains a carriage return: %q", g.Chars)
+	}
+}
+
+// TestStandardizeTrailingCRLFLastLine covers a final line without a
+// terminator versus one ended by CRLF — the trailing '\r' case that
+// produced the corrupt last pixel column.
+func TestStandardizeTrailingCRLFLastLine(t *testing.T) {
+	want := Standardize("run", 2, 8)
+	for _, script := range []string{"run\r\n", "run\r"} {
+		got := Standardize(script, 2, 8)
+		if string(got.Chars) != string(want.Chars) {
+			t.Errorf("script %q grid %q, want %q", script, got.Chars, want.Chars)
+		}
+	}
+}
+
+// TestMapScriptCRLFIdenticalPixels proves the property the paper's data
+// mapping needs end to end: identical pixel tensors for every transform,
+// for the same script under every line-ending convention.
+func TestMapScriptCRLFIdenticalPixels(t *testing.T) {
+	lf, crlf, cr := crlfVariants(
+		"#!/bin/bash",
+		"#SBATCH --time=01:00:00",
+		"",
+		"srun -n 64 ./qbox.exe input.i",
+	)
+	for _, tr := range All(nil) {
+		want := MapScript(lf, tr, 8, 32)
+		for name, script := range map[string]string{"crlf": crlf, "lone-cr": cr} {
+			got := MapScript(script, tr, 8, 32)
+			if len(got.Data) != len(want.Data) {
+				t.Fatalf("%s/%s: tensor size %d vs %d", tr.Name(), name, len(got.Data), len(want.Data))
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Errorf("%s/%s: pixel %d = %g, want %g", tr.Name(), name, i, got.Data[i], want.Data[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestBinaryCRLFNoPhantomInk pins the concrete symptom: under Binary, a
+// CRLF script must not light a pixel where the '\r' used to land.
+func TestBinaryCRLFNoPhantomInk(t *testing.T) {
+	x := MapScript("ab\r\n", Binary{}, 2, 4)
+	// Row 0: 'a' 'b' then padding — exactly two lit pixels.
+	lit := 0
+	for _, v := range x.Data {
+		if v != 0 {
+			lit++
+		}
+	}
+	if lit != 2 {
+		t.Fatalf("binary map of \"ab\\r\\n\" lights %d pixels, want 2 (the '\\r' must not map to ink)", lit)
+	}
+}

@@ -26,10 +26,22 @@ type Grid struct {
 // Lines beyond rows and characters beyond cols are cropped; missing
 // cells are padded with spaces. Tabs are preserved as characters (the
 // binary transform distinguishes whitespace from code).
+//
+// Line endings are normalized before gridding: CRLF ("\r\n") and lone
+// CR ("\r", classic-Mac files) both terminate a line exactly like LF,
+// so byte-identical scripts authored on Windows, Unix, or old Mac
+// tooling standardize to the same grid. Without this, a CRLF script
+// kept a trailing '\r' on every line, which Binary mapped to pixel 1
+// and Simple/OneHot mapped to a distinct channel — different pixel
+// images for the same script text.
 func Standardize(script string, rows, cols int) Grid {
 	g := Grid{Rows: rows, Cols: cols, Chars: make([]byte, rows*cols)}
 	for i := range g.Chars {
 		g.Chars[i] = ' '
+	}
+	if strings.ContainsRune(script, '\r') {
+		script = strings.ReplaceAll(script, "\r\n", "\n")
+		script = strings.ReplaceAll(script, "\r", "\n")
 	}
 	lines := strings.Split(script, "\n")
 	for r := 0; r < rows && r < len(lines); r++ {

@@ -46,16 +46,29 @@ type ioBins struct {
 	Min, Max float64
 }
 
-// Class returns the class index for a byte count.
+// Class returns the class index for a byte count. Non-finite and
+// non-positive inputs are defensive no-information cases: NaN and
+// anything at or below Min (including negatives and zero-IO jobs)
+// clamp to class 0, +Inf clamps to the top class. Without the explicit
+// NaN guard, NaN fell through both range checks (every comparison with
+// NaN is false) and 1+int(NaN*…) produced an out-of-range class that
+// corrupted one-hot label construction.
 func (b ioBins) Class(bytes float64) int {
-	if bytes <= b.Min {
+	if math.IsNaN(bytes) || bytes <= b.Min {
 		return 0
 	}
 	if bytes >= b.Max {
 		return b.Classes - 1
 	}
+	// Config.Validate enforces 0 < Min < Max for every predictor-built
+	// ioBins, so the logs below are finite; a hand-built degenerate range
+	// (Min <= 0 makes log(Min) NaN/-Inf) still cannot escape [0,
+	// Classes-1] thanks to the clamps on both sides.
 	frac := (math.Log(bytes) - math.Log(b.Min)) / (math.Log(b.Max) - math.Log(b.Min))
 	c := 1 + int(frac*float64(b.Classes-1))
+	if math.IsNaN(frac) || c < 1 {
+		return 0
+	}
 	if c >= b.Classes {
 		c = b.Classes - 1
 	}

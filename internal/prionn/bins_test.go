@@ -1,0 +1,104 @@
+package prionn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIOBinsClassEdgeCases pins the defensive behaviour of ioBins.Class
+// on pathological inputs. Before the NaN guard, NaN fell through both
+// range checks (every NaN comparison is false) and 1+int(NaN*…)
+// produced an out-of-range class that corrupted one-hot label
+// construction downstream.
+func TestIOBinsClassEdgeCases(t *testing.T) {
+	b := ioBins{Classes: 64, Min: 1e3, Max: 1e14}
+	cases := []struct {
+		name  string
+		bytes float64
+		want  int
+	}{
+		{"nan", math.NaN(), 0},
+		{"neg-inf", math.Inf(-1), 0},
+		{"pos-inf", math.Inf(1), 63},
+		{"zero", 0, 0},
+		{"negative", -1e9, 0},
+		{"sub-min", 999, 0},
+		{"at-min", 1e3, 0},
+		{"just-above-min", math.Nextafter(1e3, 2e3), 1},
+		{"at-max", 1e14, 63},
+		{"above-max", 1e20, 63},
+	}
+	for _, tc := range cases {
+		if got := b.Class(tc.bytes); got != tc.want {
+			t.Errorf("%s: Class(%g) = %d, want %d", tc.name, tc.bytes, got, tc.want)
+		}
+	}
+}
+
+// TestIOBinsClassAlwaysInRange sweeps every float pathology (plus a
+// degenerate hand-built range where log(Min) is not finite) and asserts
+// the class can never index outside [0, Classes-1] — the invariant
+// one-hot label construction relies on.
+func TestIOBinsClassAlwaysInRange(t *testing.T) {
+	inputs := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1), 0, -0.0, -1, -1e300,
+		math.SmallestNonzeroFloat64, 1, 1e3, 1e7, 1e14, 1e300, math.MaxFloat64,
+	}
+	bins := []ioBins{
+		{Classes: 64, Min: 1e3, Max: 1e14}, // paper-scale config
+		{Classes: 2, Min: 1, Max: 10},
+		{Classes: 16, Min: 0, Max: 1e9},  // degenerate: log(0) = -Inf
+		{Classes: 16, Min: -5, Max: 1e9}, // degenerate: log(-5) = NaN
+	}
+	for _, b := range bins {
+		for _, in := range inputs {
+			c := b.Class(in)
+			if c < 0 || c >= b.Classes {
+				t.Errorf("bins %+v: Class(%g) = %d out of [0, %d)", b, in, c, b.Classes)
+			}
+		}
+	}
+}
+
+// TestRuntimeBinsClassBytesRoundTripExact is the exact round-trip
+// property for runtime bins: the representative minute of every class
+// must land back in that class, for the paper configuration and for
+// the coarser ablation/test configurations.
+func TestRuntimeBinsClassBytesRoundTripExact(t *testing.T) {
+	configs := []runtimeBins{
+		{Classes: 960, MaxMin: 960}, // paper: one class per minute
+		{Classes: 64, MaxMin: 960},  // TinyConfig
+		{Classes: 32, MaxMin: 960},
+		{Classes: 2, MaxMin: 10},
+	}
+	for _, b := range configs {
+		for c := 0; c < b.Classes; c++ {
+			if got := b.Class(b.Minutes(c)); got != c {
+				t.Errorf("runtimeBins %+v: Class(Minutes(%d)) = %d, want %d (Minutes=%d)",
+					b, c, got, c, b.Minutes(c))
+			}
+		}
+	}
+}
+
+// TestIOBinsClassBytesRoundTripExact is the same exact property for the
+// log-scale IO bins (and the power bins, which reuse the type):
+// Class(Bytes(c)) == c for every class, so a predicted class decodes to
+// a byte count that re-encodes to itself.
+func TestIOBinsClassBytesRoundTripExact(t *testing.T) {
+	configs := []ioBins{
+		{Classes: 64, Min: 1e3, Max: 1e14}, // DefaultConfig IO heads
+		{Classes: 32, Min: 1e3, Max: 1e14}, // FastConfig
+		{Classes: 16, Min: 1e3, Max: 1e14}, // TinyConfig
+		{Classes: 48, Min: 50, Max: 2e5},   // DefaultConfig power head
+		{Classes: 2, Min: 1, Max: 10},
+	}
+	for _, b := range configs {
+		for c := 0; c < b.Classes; c++ {
+			if got := b.Class(b.Bytes(c)); got != c {
+				t.Errorf("ioBins %+v: Class(Bytes(%d)) = %d, want %d (Bytes=%g)",
+					b, c, got, c, b.Bytes(c))
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package prionn
+
+import (
+	"math/rand"
+
+	"prionn/internal/mapping"
+	"prionn/internal/nn"
+	"prionn/internal/tensor"
+)
+
+// Inference is the read-only prediction view of a Predictor: the data
+// mapping plus the classifier forward passes, with no optimizer state,
+// RNG, or persistence machinery. It is what a serving layer holds — a
+// snapshot of trained weights that can be published atomically while a
+// training Predictor keeps mutating its own copies (see Snapshot and
+// the internal/serve package).
+//
+// An Inference is confined to one goroutine at a time: the nn layers
+// cache per-call state (ReLU masks, conv column matrices, cached
+// inputs) even during inference-mode forwards, so two goroutines must
+// not call Predict on the same Inference concurrently. The serve layer
+// honors this by funneling every coalesced batch through a single
+// inference loop; swapping to a new snapshot never requires locking
+// because each snapshot owns its weights outright.
+type Inference struct {
+	cfg       Config
+	transform mapping.Transform
+
+	runtime *nn.Sequential
+	read    *nn.Sequential
+	write   *nn.Sequential
+	power   *nn.Sequential
+
+	rbins runtimeBins
+	iobin ioBins
+	pbins ioBins
+
+	trained bool
+}
+
+// view returns an Inference sharing the predictor's heads in place —
+// the zero-copy view the Predictor's own Predict path runs through.
+// It inherits the predictor's single-goroutine confinement.
+func (p *Predictor) view() *Inference {
+	return &Inference{
+		cfg:       p.Config,
+		transform: p.transform,
+		runtime:   p.runtime,
+		read:      p.read,
+		write:     p.write,
+		power:     p.power,
+		rbins:     p.rbins,
+		iobin:     p.iobin,
+		pbins:     p.pbins,
+		trained:   p.trained,
+	}
+}
+
+// Snapshot returns an Inference with deep-copied weights: a frozen
+// picture of the predictor at this instant, safe to hand to a serving
+// goroutine while the predictor continues training. The copy shares the
+// (immutable) word2vec embedding and transform but owns every model
+// parameter tensor, so subsequent Train calls on the predictor never
+// show through. Snapshot does not consume the predictor's RNG stream,
+// so taking one leaves training bitwise-reproducible.
+func (p *Predictor) Snapshot() (*Inference, error) {
+	v := p.view()
+	// Fresh heads are built with a throwaway RNG (their He-init values
+	// are immediately overwritten by the parameter copy) precisely so the
+	// predictor's own RNG — which seeds minibatch shuffles — is untouched.
+	scratch := rand.New(rand.NewSource(0))
+	clone := func(src *nn.Sequential, classes int) (*nn.Sequential, error) {
+		m := p.buildModelWith(scratch, classes)
+		if err := m.CopyParamsFrom(src); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	var err error
+	if v.runtime, err = clone(p.runtime, p.Config.RuntimeClasses); err != nil {
+		return nil, err
+	}
+	if p.Config.PredictIO {
+		if v.read, err = clone(p.read, p.Config.IOClasses); err != nil {
+			return nil, err
+		}
+		if v.write, err = clone(p.write, p.Config.IOClasses); err != nil {
+			return nil, err
+		}
+	}
+	if p.Config.PredictPower {
+		if v.power, err = clone(p.power, p.Config.PowerClasses); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// Config returns the configuration the view was built with.
+func (v *Inference) Config() Config { return v.cfg }
+
+// Trained reports whether the underlying predictor had completed at
+// least one training event when the view was taken. An untrained view
+// emits meaningless forward passes; callers (the serve layer) must fall
+// back to the job's user-requested runtime instead — the paper's
+// behaviour before the first training event.
+func (v *Inference) Trained() bool { return v.trained }
+
+// InputText assembles the model input for one job: the script, with the
+// input deck appended when IncludeDeck is set.
+func (v *Inference) InputText(script, deck string) string {
+	if v.cfg.IncludeDeck && deck != "" {
+		return script + "\n" + deck
+	}
+	return script
+}
+
+// MapTexts transforms already-assembled input texts into the model
+// input layout (the mapping stage of a prediction). The NN and 1D-CNN
+// consume the flattened 1D sequence; the 2D-CNN consumes the 2D matrix.
+// Both views share the same underlying mapped buffer (§2.1).
+func (v *Inference) MapTexts(texts []string) *tensor.Tensor {
+	x := mapping.MapBatch(texts, v.transform, v.cfg.Rows, v.cfg.Cols)
+	if v.cfg.Model == Model1DCNN {
+		return x.Reshape(x.Dim(0), v.transform.Channels(), 1, v.cfg.Rows*v.cfg.Cols)
+	}
+	return x
+}
+
+// PredictMapped runs the classifier forward passes over an
+// already-mapped batch (the forward stage of a prediction) and decodes
+// the argmax classes through the bins.
+func (v *Inference) PredictMapped(x *tensor.Tensor) []Prediction {
+	n := x.Dim(0)
+	out := make([]Prediction, n)
+	for i, c := range v.runtime.PredictClasses(x) {
+		out[i].RuntimeMin = v.rbins.Minutes(c)
+	}
+	if v.cfg.PredictIO {
+		for i, c := range v.read.PredictClasses(x) {
+			out[i].ReadBytes = v.iobin.Bytes(c)
+		}
+		for i, c := range v.write.PredictClasses(x) {
+			out[i].WriteBytes = v.iobin.Bytes(c)
+		}
+	}
+	if v.cfg.PredictPower {
+		for i, c := range v.power.PredictClasses(x) {
+			out[i].PowerW = v.pbins.Bytes(c)
+		}
+	}
+	return out
+}
+
+// Predict returns predictions for a batch of job scripts: MapTexts
+// followed by PredictMapped. See the type comment for the concurrency
+// contract and Trained for the untrained-weights contract.
+func (v *Inference) Predict(scripts []string) []Prediction {
+	if len(scripts) == 0 {
+		return nil
+	}
+	return v.PredictMapped(v.MapTexts(scripts))
+}
+
+// PredictOne returns the prediction for a single job script.
+func (v *Inference) PredictOne(script string) Prediction {
+	return v.Predict([]string{script})[0]
+}

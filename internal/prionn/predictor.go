@@ -127,8 +127,16 @@ func (p *Predictor) inputText(script, deck string) string {
 }
 
 // buildModel constructs one classifier head for the configured
-// architecture.
+// architecture, drawing initial weights from the predictor's RNG.
 func (p *Predictor) buildModel(classes int) *nn.Sequential {
+	return p.buildModelWith(p.rng, classes)
+}
+
+// buildModelWith is buildModel with an explicit RNG, so Snapshot can
+// construct throwaway-initialized heads without consuming the
+// predictor's own RNG stream (which seeds minibatch shuffles and must
+// stay bitwise-reproducible).
+func (p *Predictor) buildModelWith(rng *rand.Rand, classes int) *nn.Sequential {
 	arch := nn.ArchConfig{
 		Rows:     p.Config.Rows,
 		Cols:     p.Config.Cols,
@@ -138,23 +146,20 @@ func (p *Predictor) buildModel(classes int) *nn.Sequential {
 	}
 	switch p.Config.Model {
 	case ModelNN:
-		return nn.NewFullyConnected(p.rng, arch)
+		return nn.NewFullyConnected(rng, arch)
 	case Model1DCNN:
-		return nn.NewCNN1D(p.rng, arch)
+		return nn.NewCNN1D(rng, arch)
 	default:
-		return nn.NewCNN2D(p.rng, arch)
+		return nn.NewCNN2D(rng, arch)
 	}
 }
 
-// mapBatch transforms scripts into the model input layout. The NN and
-// 1D-CNN consume the flattened 1D sequence; the 2D-CNN consumes the 2D
-// matrix. Both views share the same underlying mapped buffer (§2.1).
+// mapBatch transforms scripts into the model input layout (see
+// Inference.MapTexts, which it delegates to). Like Predict, it is not
+// safe for concurrent use: the batch mapping itself is parallel-safe,
+// but the surrounding predictor state is single-goroutine.
 func (p *Predictor) mapBatch(scripts []string) *tensor.Tensor {
-	x := mapping.MapBatch(scripts, p.transform, p.Config.Rows, p.Config.Cols)
-	if p.Config.Model == Model1DCNN {
-		return x.Reshape(x.Dim(0), p.transform.Channels(), 1, p.Config.Rows*p.Config.Cols)
-	}
-	return x
+	return p.view().MapTexts(scripts)
 }
 
 // Train runs one warm-start training event on a window of completed jobs
@@ -178,30 +183,21 @@ func (p *Predictor) Trained() bool { return p.trained }
 func (p *Predictor) Events() int { return p.events }
 
 // Predict returns predictions for a batch of job scripts.
+//
+// Contract: Predict runs the forward passes unconditionally, including
+// on never-trained weights, whose output is He-init noise with no
+// relation to the job. Callers that can reach an untrained predictor
+// must check Trained() first and fall back to the job's user-requested
+// runtime (the paper's behaviour before the first training event);
+// the serve layer does exactly this.
+//
+// Predict is NOT safe for concurrent use: the nn layers cache per-call
+// state (ReLU masks, conv column matrices, cached inputs) even in
+// inference mode, so two goroutines predicting on the same heads race.
+// Concurrent serving goes through Snapshot + internal/serve, which
+// serializes all forwards in a single inference loop.
 func (p *Predictor) Predict(scripts []string) []Prediction {
-	if len(scripts) == 0 {
-		return nil
-	}
-	x := p.mapBatch(scripts)
-	rc := p.runtime.PredictClasses(x)
-	out := make([]Prediction, len(scripts))
-	for i := range out {
-		out[i].RuntimeMin = p.rbins.Minutes(rc[i])
-	}
-	if p.Config.PredictIO {
-		for i, c := range p.read.PredictClasses(x) {
-			out[i].ReadBytes = p.iobin.Bytes(c)
-		}
-		for i, c := range p.write.PredictClasses(x) {
-			out[i].WriteBytes = p.iobin.Bytes(c)
-		}
-	}
-	if p.Config.PredictPower {
-		for i, c := range p.power.PredictClasses(x) {
-			out[i].PowerW = p.pbins.Bytes(c)
-		}
-	}
-	return out
+	return p.view().Predict(scripts)
 }
 
 // PredictOne returns the prediction for a single job script.

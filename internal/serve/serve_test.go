@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"prionn/internal/fault"
+	"prionn/internal/prionn"
+	"prionn/internal/trace"
+)
+
+// Shared trained snapshots: training even a tiny predictor dominates
+// test wall time, so every test reuses one setup. The two views come
+// from different training points, so Swap tests can observe a real
+// weight change.
+var (
+	setupOnce sync.Once
+	setupErr  error
+	view1     *prionn.Inference
+	view2     *prionn.Inference
+	testJobs  []trace.Job
+)
+
+func trainedViews(t testing.TB) (*prionn.Inference, *prionn.Inference, []trace.Job) {
+	t.Helper()
+	setupOnce.Do(func() {
+		cfg := prionn.TinyConfig()
+		jobs := trace.Completed(trace.Generate(trace.Config{Seed: 3, Jobs: 120}))
+		scripts := make([]string, len(jobs))
+		for i, j := range jobs {
+			scripts[i] = j.Script
+		}
+		p, err := prionn.New(cfg, scripts)
+		if err != nil {
+			setupErr = err
+			return
+		}
+		if _, err := p.Train(jobs[:40]); err != nil {
+			setupErr = err
+			return
+		}
+		if view1, err = p.Snapshot(); err != nil {
+			setupErr = err
+			return
+		}
+		if _, err := p.Train(jobs[40:80]); err != nil {
+			setupErr = err
+			return
+		}
+		if view2, err = p.Snapshot(); err != nil {
+			setupErr = err
+			return
+		}
+		testJobs = jobs
+	})
+	if setupErr != nil {
+		t.Fatal(setupErr)
+	}
+	return view1, view2, testJobs
+}
+
+// TestServeBatchedBitwiseIdenticalToSingle is the core correctness claim of
+// the coalescer: a prediction served from a coalesced minibatch must be
+// bitwise identical to the one a single-request forward returns. The
+// first flush is stalled with a latency failpoint so the remaining
+// requests genuinely coalesce.
+func TestServeBatchedBitwiseIdenticalToSingle(t *testing.T) {
+	v, _, jobs := trainedViews(t)
+	const n = 16
+	want := make([]prionn.Prediction, n)
+	for i := 0; i < n; i++ {
+		// Reference: single-request forward, computed before the server
+		// owns the view.
+		want[i] = v.PredictOne(jobs[i].Script)
+	}
+
+	defer fault.DisarmAll()
+	fault.Arm(FailpointFlush, fault.Failure{Sleep: 30 * time.Millisecond})
+
+	s := New(v, Config{MaxBatch: n, MaxDelay: 2 * time.Millisecond, QueueDepth: 2 * n})
+	got := make([]Response, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = s.Predict(context.Background(), Request{Script: jobs[i].Script})
+		}(i)
+	}
+	wg.Wait()
+	if err := s.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !got[i].FromModel {
+			t.Fatalf("request %d served from fallback, want model", i)
+		}
+		if got[i].Pred != want[i] {
+			t.Fatalf("request %d: coalesced %+v != single-request %+v", i, got[i].Pred, want[i])
+		}
+	}
+	snap := s.Stats()
+	if snap.Served != n || snap.Admitted != n {
+		t.Fatalf("stats served=%d admitted=%d, want %d", snap.Served, snap.Admitted, n)
+	}
+	// The stalled first flush lets the rest coalesce: far fewer batches
+	// than requests proves the minibatch path actually ran.
+	if snap.Batches >= n {
+		t.Fatalf("no coalescing happened: %d batches for %d requests", snap.Batches, n)
+	}
+}
+
+// TestServeUntrainedFallback: with no trained snapshot published, the
+// server must return the user-requested runtime (the paper's
+// pre-first-training behaviour), never the untrained heads' noise.
+// Publishing a trained snapshot via Swap switches to model serving
+// without a restart.
+func TestServeUntrainedFallback(t *testing.T) {
+	v, _, jobs := trainedViews(t)
+	s := New(nil, Config{MaxBatch: 4, MaxDelay: time.Millisecond})
+	defer s.Stop(context.Background())
+
+	resp, err := s.Predict(context.Background(), Request{Script: jobs[0].Script, RequestedMin: 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.FromModel {
+		t.Fatal("untrained server claimed a model prediction")
+	}
+	if resp.Pred.RuntimeMin != 240 {
+		t.Fatalf("fallback runtime %d, want the requested 240", resp.Pred.RuntimeMin)
+	}
+	if resp.Pred.ReadBytes != 0 || resp.Pred.WriteBytes != 0 {
+		t.Fatalf("fallback must not invent IO: %+v", resp.Pred)
+	}
+
+	if old := s.Swap(v); old != nil {
+		t.Fatalf("first Swap returned %v, want nil previous snapshot", old)
+	}
+	resp, err = s.Predict(context.Background(), Request{Script: jobs[0].Script, RequestedMin: 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.FromModel {
+		t.Fatal("after Swap the server must serve from the model")
+	}
+	if want := v.PredictOne(jobs[0].Script); resp.Pred != want {
+		t.Fatalf("post-swap prediction %+v, want %+v", resp.Pred, want)
+	}
+	if snap := s.Stats(); snap.Fallback != 1 || snap.Served != 1 || snap.Swaps != 1 {
+		t.Fatalf("stats %+v: want 1 fallback, 1 served, 1 swap", snap)
+	}
+}
+
+// TestServeOverloadBoundedQueue: under injected slow forward passes the
+// admission queue must stay bounded — excess requests fail fast with
+// ErrOverloaded — and every admitted request must still be answered.
+func TestServeOverloadBoundedQueue(t *testing.T) {
+	defer fault.DisarmAll()
+	fault.Arm(FailpointFlush, fault.Failure{Sleep: 40 * time.Millisecond})
+
+	const clients = 24
+	s := New(nil, Config{MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: 2})
+
+	var wg sync.WaitGroup
+	results := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Predict(context.Background(), Request{Script: "x", RequestedMin: 7})
+			if err == nil && resp.Pred.RuntimeMin != 7 {
+				err = errors.New("admitted request served a corrupt response")
+			}
+			results[i] = err
+		}(i)
+	}
+	wg.Wait()
+	if err := s.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var ok, overloaded int
+	for i, err := range results {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrOverloaded):
+			overloaded++
+		default:
+			t.Fatalf("request %d: unexpected error %v", i, err)
+		}
+	}
+	if ok+overloaded != clients {
+		t.Fatalf("ok %d + overloaded %d != %d clients", ok, overloaded, clients)
+	}
+	if overloaded == 0 {
+		t.Fatal("queue depth 2 with 24 clients and 40ms flushes must shed load")
+	}
+	snap := s.Stats()
+	if snap.Admitted != int64(ok) || snap.Rejected != int64(overloaded) {
+		t.Fatalf("stats admitted=%d rejected=%d, want %d/%d", snap.Admitted, snap.Rejected, ok, overloaded)
+	}
+	// Bounded queue: every admitted request was answered; none left.
+	if snap.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain, want 0", snap.QueueDepth)
+	}
+	if snap.Fallback != int64(ok) {
+		t.Fatalf("fallback served %d, want %d (all admitted)", snap.Fallback, ok)
+	}
+}
+
+// TestServeGracefulDrainNoDrops: Stop must answer every already-admitted
+// request before the loop exits — shutdown sheds new load but never
+// drops in-flight work.
+func TestServeGracefulDrainNoDrops(t *testing.T) {
+	defer fault.DisarmAll()
+	fault.Arm(FailpointFlush, fault.Failure{Sleep: 30 * time.Millisecond})
+
+	const queued = 4
+	s := New(nil, Config{MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: queued + 1})
+	var wg sync.WaitGroup
+	results := make([]error, queued)
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = s.Predict(context.Background(), Request{Script: "y", RequestedMin: 3})
+		}(i)
+	}
+	// Wait until all four are admitted (the first may already be mid-flush).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Admitted < queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d admitted", s.Stats().Admitted)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := s.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("admitted request %d dropped during drain: %v", i, err)
+		}
+	}
+	if _, err := s.Predict(context.Background(), Request{Script: "z"}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("post-Stop Predict: got %v, want ErrStopped", err)
+	}
+	// Idempotent Stop.
+	if err := s.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeStopDrainTimeout: a context that expires mid-drain surfaces
+// its error while the drain keeps running; a later Stop can still wait
+// for completion.
+func TestServeStopDrainTimeout(t *testing.T) {
+	defer fault.DisarmAll()
+	fault.Arm(FailpointFlush, fault.Failure{Sleep: 50 * time.Millisecond})
+
+	s := New(nil, Config{MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = s.Predict(context.Background(), Request{Script: "w"})
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Admitted < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("requests not admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := s.Stop(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("rushed Stop: got %v, want deadline exceeded", err)
+	}
+	if err := s.Stop(context.Background()); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+	wg.Wait()
+}
+
+// TestServePredictContextCancel: a caller that gives up stops waiting
+// immediately; the admitted request is still flushed without
+// corrupting its batch.
+func TestServePredictContextCancel(t *testing.T) {
+	defer fault.DisarmAll()
+	fault.Arm(FailpointFlush, fault.Failure{Sleep: 30 * time.Millisecond})
+
+	s := New(nil, Config{MaxBatch: 1, MaxDelay: time.Millisecond, QueueDepth: 4})
+	defer s.Stop(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Predict(ctx, Request{Script: "c"})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Admitted < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request not admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestServeConcurrentPredictSwap hammers Predict, Swap, and Stats from
+// many goroutines — the -race target for the snapshot-swap design.
+func TestServeConcurrentPredictSwap(t *testing.T) {
+	v1, v2, jobs := trainedViews(t)
+	s := New(v1, Config{MaxBatch: 8, MaxDelay: 500 * time.Microsecond, QueueDepth: 64})
+
+	const clients = 8
+	const perClient = 25
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				script := jobs[(c*perClient+i)%len(jobs)].Script
+				resp, err := s.Predict(context.Background(), Request{Script: script, RequestedMin: 5})
+				if errors.Is(err, ErrOverloaded) {
+					continue // backpressure is a legal outcome under hammering
+				}
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if !resp.FromModel {
+					t.Errorf("client %d: fallback response with a trained view published", c)
+					return
+				}
+			}
+		}(c)
+	}
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		views := [2]*prionn.Inference{v1, v2}
+		for i := 0; i < 100; i++ {
+			s.Swap(views[i%2])
+			_ = s.Stats()
+		}
+	}()
+	wg.Wait()
+	<-swapDone
+	if err := s.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Stats()
+	if snap.Swaps != 100 {
+		t.Fatalf("swaps %d, want 100", snap.Swaps)
+	}
+	if snap.Served+snap.Rejected != clients*perClient {
+		t.Fatalf("served %d + rejected %d != %d", snap.Served, snap.Rejected, clients*perClient)
+	}
+}
+
+// TestServeSwapDoesNotMixBatches: every prediction must come wholly
+// from one snapshot — a response equals either v1's or v2's
+// single-request prediction, never a blend.
+func TestServeSwapDoesNotMixBatches(t *testing.T) {
+	v1, v2, jobs := trainedViews(t)
+	script := jobs[0].Script
+	want1 := v1.PredictOne(script)
+	want2 := v2.PredictOne(script)
+
+	s := New(v1, Config{MaxBatch: 4, MaxDelay: 500 * time.Microsecond, QueueDepth: 32})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Swap(v1)
+			s.Swap(v2)
+		}
+	}()
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := s.Predict(context.Background(), Request{Script: script})
+				if errors.Is(err, ErrOverloaded) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+				if resp.Pred != want1 && resp.Pred != want2 {
+					t.Errorf("prediction %+v matches neither snapshot (%+v / %+v)", resp.Pred, want1, want2)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if err := s.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistBucket(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 64: 6, 65: 7, 1 << 20: batchBuckets - 1}
+	for n, want := range cases {
+		if got := histBucket(n); got != want {
+			t.Errorf("histBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// batchBuckets is the number of power-of-two batch-size histogram
+// buckets: bucket i counts flushes of size in (2^(i-1), 2^i], so bucket
+// 0 is exactly size 1 and bucket 11 covers up to 2048 — far above any
+// sane MaxBatch.
+const batchBuckets = 12
+
+// stats is the server's hot-path counter block. Every field is atomic:
+// the flush loop, the admission path, and Stats() readers touch them
+// concurrently without locks.
+type stats struct {
+	admitted atomic.Int64 // requests accepted into the queue
+	rejected atomic.Int64 // requests refused with ErrOverloaded
+	served   atomic.Int64 // predictions returned from model forwards
+	fallback atomic.Int64 // predictions served from the requested-runtime fallback
+	errored  atomic.Int64 // requests completed with an error (injected faults)
+
+	batches    atomic.Int64 // coalesced flushes executed
+	swaps      atomic.Int64 // snapshot swaps published
+	queueDepth atomic.Int64 // requests admitted but not yet flushed
+
+	mapNs     atomic.Int64 // cumulative mapping-stage wall time
+	forwardNs atomic.Int64 // cumulative forward-stage wall time
+
+	batchHist [batchBuckets]atomic.Int64
+}
+
+// histBucket maps a batch size to its histogram bucket.
+func histBucket(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	b := bits.Len(uint(n - 1))
+	if b >= batchBuckets {
+		b = batchBuckets - 1
+	}
+	return b
+}
+
+// recordBatch folds one flushed batch into the counters.
+func (s *stats) recordBatch(size int, mapDur, forwardDur time.Duration) {
+	s.batches.Add(1)
+	s.batchHist[histBucket(size)].Add(1)
+	s.mapNs.Add(int64(mapDur))
+	s.forwardNs.Add(int64(forwardDur))
+}
+
+// Snapshot is an expvar-style point-in-time copy of the serving
+// counters, safe to marshal, print, or diff against an earlier one.
+type Snapshot struct {
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Served   int64 `json:"served"`
+	Fallback int64 `json:"fallback"`
+	Errored  int64 `json:"errored"`
+
+	Batches    int64 `json:"batches"`
+	Swaps      int64 `json:"swaps"`
+	QueueDepth int64 `json:"queue_depth"`
+
+	MapNs     int64 `json:"map_ns"`
+	ForwardNs int64 `json:"forward_ns"`
+
+	// BatchHist[i] counts flushes with batch size in (2^(i-1), 2^i];
+	// BatchHist[0] counts single-request flushes.
+	BatchHist [batchBuckets]int64 `json:"batch_hist"`
+}
+
+// snapshot copies the counters. Individual loads are atomic; the copy
+// as a whole is not a consistent cut, which is fine for monitoring.
+func (s *stats) snapshot() Snapshot {
+	var out Snapshot
+	out.Admitted = s.admitted.Load()
+	out.Rejected = s.rejected.Load()
+	out.Served = s.served.Load()
+	out.Fallback = s.fallback.Load()
+	out.Errored = s.errored.Load()
+	out.Batches = s.batches.Load()
+	out.Swaps = s.swaps.Load()
+	out.QueueDepth = s.queueDepth.Load()
+	out.MapNs = s.mapNs.Load()
+	out.ForwardNs = s.forwardNs.Load()
+	for i := range out.BatchHist {
+		out.BatchHist[i] = s.batchHist[i].Load()
+	}
+	return out
+}
+
+// MeanBatch returns the mean coalesced batch size.
+func (sn Snapshot) MeanBatch() float64 {
+	if sn.Batches == 0 {
+		return 0
+	}
+	return float64(sn.Served+sn.Fallback+sn.Errored) / float64(sn.Batches)
+}
+
+// String renders the snapshot as the multi-line block `prionnd -stats`
+// prints.
+func (sn Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "served %d (model) + %d (fallback), %d errored; admitted %d, rejected %d\n",
+		sn.Served, sn.Fallback, sn.Errored, sn.Admitted, sn.Rejected)
+	fmt.Fprintf(&b, "batches %d (mean size %.1f), queue depth %d, swaps %d\n",
+		sn.Batches, sn.MeanBatch(), sn.QueueDepth, sn.Swaps)
+	if sn.Batches > 0 {
+		perBatchMap := time.Duration(sn.MapNs / sn.Batches)
+		perBatchFwd := time.Duration(sn.ForwardNs / sn.Batches)
+		fmt.Fprintf(&b, "per-batch latency: map %v, forward %v\n", perBatchMap, perBatchFwd)
+	}
+	b.WriteString("batch-size histogram:")
+	for i, c := range sn.BatchHist {
+		if c == 0 {
+			continue
+		}
+		lo, hi := 1, 1<<i
+		if i > 0 {
+			lo = 1<<(i-1) + 1
+		}
+		if lo == hi {
+			fmt.Fprintf(&b, " %d:%d", hi, c)
+		} else {
+			fmt.Fprintf(&b, " %d-%d:%d", lo, hi, c)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

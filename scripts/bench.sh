@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# bench.sh — kernel benchmark runner for the perf trajectory.
+# bench.sh — kernel + serving benchmark runner for the perf trajectory.
 #
 # Runs the compute-core benchmarks (GEMM, batched conv, dense training
 # step, and the Fig. 4 end-to-end training probe) and rewrites
 # BENCH_kernels.json with {ns_op, allocs_op} per benchmark, so each PR
 # can diff throughput against the committed numbers of the previous one.
+# Then runs the serving-throughput pair (64 concurrent clients through
+# sequential batch-1 PredictOne vs the internal/serve coalescer) and
+# rewrites BENCH_serve.json, including the per-prediction rate and the
+# coalescing speedup ratio.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 1s; pass e.g. 1x for a
 # smoke run that only checks the benchmarks still execute)
@@ -19,12 +23,16 @@ pattern='^(BenchmarkGEMM|BenchmarkConvForward$|BenchmarkConvBackward$|BenchmarkM
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem -benchtime="$benchtime" . | tee "$tmp"
+serve_tmp="$(mktemp)"
+trap 'rm -f "$tmp" "$serve_tmp"' EXIT
 
-# Only rewrite the committed snapshot on real timing runs; -benchtime=1x
+go test -run '^$' -bench "$pattern" -benchmem -benchtime="$benchtime" . | tee "$tmp"
+go test -run '^$' -bench '^BenchmarkServe' -benchmem -benchtime="$benchtime" ./internal/serve/ | tee "$serve_tmp"
+
+# Only rewrite the committed snapshots on real timing runs; -benchtime=1x
 # numbers are startup noise.
 if [ "$benchtime" = "1x" ]; then
-    echo "smoke run: BENCH_kernels.json left untouched"
+    echo "smoke run: BENCH_kernels.json and BENCH_serve.json left untouched"
     exit 0
 fi
 
@@ -45,3 +53,33 @@ END { print "\n}" }
 ' "$tmp" > BENCH_kernels.json
 
 echo "wrote BENCH_kernels.json"
+
+# BENCH_serve.json additionally derives predictions/sec per benchmark
+# and the coalescing speedup (sequential ns_op / coalesced ns_op) — the
+# serving layer's headline number.
+awk '
+BEGIN { print "{"; sep = "" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = "null"; allocs = "null"; batch = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "batch-size") batch = $(i - 1)
+    }
+    if (name ~ /Sequential64Clients$/) seq_ns = ns
+    if (name ~ /Coalesced64Clients$/) coal_ns = ns
+    printf "%s  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s, \"predictions_per_sec\": %.0f", sep, name, ns, allocs, 1e9 / ns
+    if (batch != "") printf ", \"mean_batch_size\": %s", batch
+    printf "}"
+    sep = ",\n"
+}
+END {
+    if (seq_ns != "" && coal_ns != "")
+        printf "%s  \"coalescing_speedup\": %.2f", sep, seq_ns / coal_ns
+    print "\n}"
+}
+' "$serve_tmp" > BENCH_serve.json
+
+echo "wrote BENCH_serve.json"

@@ -14,10 +14,15 @@
 #   7. crash matrix   (fault-injection sweep: every injectable fault
 #                      point during a checkpoint save, plus mid-save
 #                      crash recovery of the online-retrain loop)
-#   8. bench smoke    (one iteration of each kernel benchmark via
-#                      scripts/bench.sh 1x; real timings are recorded
-#                      separately into BENCH_kernels.json)
-#   9. go test -fuzz  (short smoke run of each fuzz target: the mapping
+#   8. serve gate     (the serving layer's contract tests — coalesced
+#                      == single bitwise, bounded-queue overload,
+#                      graceful drain — rerun under the race detector
+#                      with concurrent Predict+Swap)
+#   9. bench smoke    (one iteration of each kernel and serving
+#                      benchmark via scripts/bench.sh 1x; real timings
+#                      are recorded separately into BENCH_kernels.json
+#                      and BENCH_serve.json)
+#  10. go test -fuzz  (short smoke run of each fuzz target: the mapping
 #                      crop/pad grid, the feature-directive parser, and
 #                      corrupt-checkpoint loading)
 #
@@ -58,8 +63,16 @@ go test -race ./...
 echo "== crash matrix (fault injection)"
 go test -count=1 -run 'TestSaveFileCrashMatrix|TestOnlineRetrainCrashRecovery|TestInterruptResumeBitwiseIdentical' ./internal/prionn/
 
-# Benchmark smoke: one iteration of each kernel benchmark proves the
-# perf-trajectory harness still runs; timings come from scripts/bench.sh.
+# Serving gate: the coalescer's contract tests, explicitly and under
+# the race detector (they also run in the suite above; the -run filter
+# keeps serving correctness visible as its own gate and guards against
+# the tests being renamed away).
+echo "== serving gate (coalescing / overload / drain, -race)"
+go test -race -count=1 -run 'TestServeBatchedBitwiseIdenticalToSingle|TestServeOverloadBoundedQueue|TestServeGracefulDrainNoDrops|TestServeConcurrentPredictSwap' ./internal/serve/
+
+# Benchmark smoke: one iteration of each kernel and serving benchmark
+# proves the perf-trajectory harness still runs; timings come from
+# scripts/bench.sh.
 echo "== benchmark smoke (1 iteration)"
 sh scripts/bench.sh 1x > /dev/null
 
