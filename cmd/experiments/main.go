@@ -134,7 +134,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 			continue
 		}
-		//prionnvet:ignore time-dep wall time is an intentional measurement note, not model data
+		//prionnvet:ignore time-dep -- wall time is an intentional measurement note, not model data
 		res.Notes = append(res.Notes, fmt.Sprintf("wall time %.1fs", time.Since(start).Seconds()))
 		if _, err := res.WriteTo(w); err != nil {
 			logf("%v", err)

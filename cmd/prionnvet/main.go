@@ -5,8 +5,12 @@
 // goroutines, loop-variable captures, unsynchronized package state,
 // map-iteration order leaking into results, RNGs shared across
 // goroutines or seeded from laundered wall time, wall-clock values
-// flowing into data, and completion-order channel aggregation. The
-// checkers share an SSA-lite def-use index; see DESIGN.md §6.
+// flowing into data, and completion-order channel aggregation — plus
+// the interprocedural concurrency/resource checks built on the package
+// call graph: broken context chains, leaked arena buffers, mutexes
+// held across blocking operations, violated //prionnvet:confined
+// contracts, and mixed atomic/plain access. The checkers share an
+// SSA-lite def-use index and a memoized call graph; see DESIGN.md §6.
 //
 // Usage:
 //
@@ -15,30 +19,40 @@
 // Patterns are package directories or the ./... form (the default).
 // Findings are suppressed at the site with
 //
-//	//prionnvet:ignore <check>[,<check>...] <justification>
+//	//prionnvet:ignore <check>[,<check>...] -- <justification>
 //
-// on the flagged line or the line above it. Exit status: 0 clean,
+// on the flagged line or the line above it. The justification is
+// mandatory: a directive without " -- reason" still suppresses but is
+// reported as an ignore-reason meta-finding. Exit status: 0 clean,
 // 1 findings, 2 usage or load errors.
+//
+// With -json, findings are emitted as a sorted JSON array whose element
+// schema is documented in README.md (check, doc, message, file, line,
+// col, offset, endLine, endCol, endOffset); the order is stable across
+// runs (file, line, col, check), so outputs are diffable across
+// commits.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"prionn/internal/analysis"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("prionnvet", flag.ContinueOnError)
-	fs.SetOutput(os.Stderr)
+	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list available checks and exit")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
@@ -48,7 +62,10 @@ func run(args []string) int {
 
 	if *list {
 		for _, c := range analysis.All() {
-			fmt.Fprintf(os.Stdout, "%-18s %s\n", c.Name(), c.Doc())
+			if _, err := fmt.Fprintf(stdout, "%-18s %s\n", c.Name(), c.Doc()); err != nil {
+				_, _ = fmt.Fprintf(stderr, "prionnvet: %v\n", err)
+				return 2
+			}
 		}
 		return 0
 	}
@@ -60,7 +77,7 @@ func run(args []string) int {
 			name = strings.TrimSpace(name)
 			c := analysis.ByName(name)
 			if c == nil {
-				fmt.Fprintf(os.Stderr, "prionnvet: unknown check %q (see -list)\n", name)
+				_, _ = fmt.Fprintf(stderr, "prionnvet: unknown check %q; valid checks are %s\n", name, strings.Join(checkNames(), ", "))
 				return 2
 			}
 			checkers = append(checkers, c)
@@ -69,7 +86,7 @@ func run(args []string) int {
 
 	root, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "prionnvet: %v\n", err)
+		_, _ = fmt.Fprintf(stderr, "prionnvet: %v\n", err)
 		return 2
 	}
 
@@ -79,13 +96,13 @@ func run(args []string) int {
 	}
 	dirs, err := expandPatterns(patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "prionnvet: %v\n", err)
+		_, _ = fmt.Fprintf(stderr, "prionnvet: %v\n", err)
 		return 2
 	}
 
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "prionnvet: %v\n", err)
+		_, _ = fmt.Fprintf(stderr, "prionnvet: %v\n", err)
 		return 2
 	}
 
@@ -93,42 +110,69 @@ func run(args []string) int {
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "prionnvet: %v\n", err)
+			_, _ = fmt.Fprintf(stderr, "prionnvet: %v\n", err)
 			return 2
 		}
 		findings = append(findings, analysis.RunAll(pkg.Pass(loader.Fset), checkers)...)
 	}
 
 	// Report paths relative to the module root for stable, clickable
-	// output regardless of where the tool was invoked.
+	// output regardless of where the tool was invoked, then re-sort the
+	// aggregate so multi-package output (and its JSON) is deterministic.
 	for i := range findings {
 		if rel, err := filepath.Rel(root, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			findings[i].File = rel
 		}
 	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []analysis.Finding{}
 		}
 		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintf(os.Stderr, "prionnvet: %v\n", err)
+			_, _ = fmt.Fprintf(stderr, "prionnvet: %v\n", err)
 			return 2
 		}
 	} else {
 		for _, f := range findings {
-			fmt.Fprintln(os.Stdout, f.String())
+			if _, err := fmt.Fprintln(stdout, f.String()); err != nil {
+				_, _ = fmt.Fprintf(stderr, "prionnvet: %v\n", err)
+				return 2
+			}
 		}
 	}
 	if len(findings) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "prionnvet: %d finding(s)\n", len(findings))
+			_, _ = fmt.Fprintf(stderr, "prionnvet: %d finding(s)\n", len(findings))
 		}
 		return 1
 	}
 	return 0
+}
+
+// checkNames returns every registered checker name, for the -checks
+// error message.
+func checkNames() []string {
+	var names []string
+	for _, c := range analysis.All() {
+		names = append(names, c.Name())
+	}
+	return names
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prionn/internal/analysis"
+)
+
+// runCLI drives run() with captured streams, the same entry point main
+// uses, so tests see exactly what a shell invocation would.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListFlag(t *testing.T) {
+	code, out, errb := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := len(analysis.All()); len(lines) != want {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	for i, c := range analysis.All() {
+		if !strings.HasPrefix(lines[i], c.Name()) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], c.Name())
+		}
+		if !strings.Contains(lines[i], c.Doc()) {
+			t.Errorf("line %d missing doc for %s", i, c.Name())
+		}
+	}
+}
+
+func TestUnknownCheck(t *testing.T) {
+	code, _, errb := runCLI(t, "-checks", "no-such-check", "testdata/clean")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb, `unknown check "no-such-check"`) {
+		t.Errorf("stderr %q does not name the bad check", errb)
+	}
+	// The error must enumerate every valid name so the fix is in the
+	// message, not a second invocation of -list.
+	for _, c := range analysis.All() {
+		if !strings.Contains(errb, c.Name()) {
+			t.Errorf("stderr does not list valid check %s", c.Name())
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, out, errb := runCLI(t, "testdata/clean")
+	if code != 0 || out != "" || errb != "" {
+		t.Errorf("clean run: exit=%d stdout=%q stderr=%q, want 0 with no output", code, out, errb)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	code, out, errb := runCLI(t, "testdata/dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "float-eq") || !strings.Contains(out, "unseeded-rand") {
+		t.Errorf("stdout missing expected findings:\n%s", out)
+	}
+	if !strings.Contains(errb, "2 finding(s)") {
+		t.Errorf("stderr = %q, want finding count summary", errb)
+	}
+}
+
+func TestChecksSubset(t *testing.T) {
+	code, out, _ := runCLI(t, "-checks", "float-eq", "testdata/dirty")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "float-eq") || strings.Contains(out, "unseeded-rand") {
+		t.Errorf("-checks float-eq should report only float-eq findings:\n%s", out)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	code, out, errb := runCLI(t, "-json", "testdata/dirty", "testdata/clean")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb)
+	}
+	if errb != "" {
+		t.Errorf("-json must keep stderr clean for piping, got %q", errb)
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not a JSON finding array: %v\n%s", err, out)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(findings), findings)
+	}
+	wantFile := filepath.Join("cmd", "prionnvet", "testdata", "dirty", "dirty.go")
+	for i, f := range findings {
+		if f.File != wantFile {
+			t.Errorf("finding %d file = %q, want module-relative %q", i, f.File, wantFile)
+		}
+		if f.Check == "" || f.Message == "" || f.Doc == "" {
+			t.Errorf("finding %d missing check/message/doc: %+v", i, f)
+		}
+		// Token-anchored findings have a zero-width range (end == start);
+		// an end before the start would mean the schema broke.
+		if f.Line <= 0 || f.Col <= 0 || f.Offset < 0 || f.EndOffset < f.Offset {
+			t.Errorf("finding %d has a degenerate range: %+v", i, f)
+		}
+		if f.EndLine < f.Line || f.EndLine <= 0 || f.EndCol <= 0 {
+			t.Errorf("finding %d has bad end position: %+v", i, f)
+		}
+	}
+	if findings[0].Check != "float-eq" || findings[1].Check != "unseeded-rand" {
+		t.Errorf("findings not sorted by position: %s then %s", findings[0].Check, findings[1].Check)
+	}
+	if findings[0].Line >= findings[1].Line {
+		t.Errorf("findings out of line order: %d then %d", findings[0].Line, findings[1].Line)
+	}
+}
+
+func TestJSONCleanEmitsEmptyArray(t *testing.T) {
+	code, out, _ := runCLI(t, "-json", "testdata/clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(out); got != "[]" {
+		t.Errorf("clean -json output = %q, want [] (not null)", got)
+	}
+}
+
+func TestBadPathExitsTwo(t *testing.T) {
+	code, _, errb := runCLI(t, "testdata/no-such-dir")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb, "prionnvet:") {
+		t.Errorf("stderr = %q, want a prionnvet-prefixed error", errb)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	code, _, errb := runCLI(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb, "flag") {
+		t.Errorf("stderr = %q, want flag usage error", errb)
+	}
+}

@@ -1,0 +1,5 @@
+// Package clean is a CLI test fixture that no checker flags.
+package clean
+
+// Add is deliberately boring: no randomness, no floats, no goroutines.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,15 @@
+// Package dirty is a CLI test fixture with two known findings:
+// a float-eq on Compare's line and an unseeded-rand on Roll's.
+package dirty
+
+import "math/rand"
+
+// Compare trips float-eq.
+func Compare(a, b float64) bool {
+	return a == b
+}
+
+// Roll trips unseeded-rand.
+func Roll() int {
+	return rand.Intn(6)
+}

@@ -58,7 +58,7 @@ func main() {
 		for i, pr := range p.Predict(testScripts) {
 			sum += metrics.RelativeAccuracy(float64(test[i].ActualMin()), float64(pr.RuntimeMin))
 		}
-		//prionnvet:ignore time-dep training wall time is the quantity being reported
+		//prionnvet:ignore time-dep -- training wall time is the quantity being reported
 		return trainSec, sum / float64(len(test))
 	}
 

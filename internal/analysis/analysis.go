@@ -9,11 +9,14 @@
 // Checkers are pure go/ast + go/types passes (no external deps, matching
 // go.mod). Findings can be suppressed at the site with a justification:
 //
-//	//prionnvet:ignore <check>[,<check>...] <reason>
+//	//prionnvet:ignore <check>[,<check>...] -- <reason>
 //
 // The comment silences the named checks (or "all") on its own line and
 // on the line directly below it, so it works both as a trailing comment
-// and as a standalone line above the flagged statement.
+// and as a standalone line above the flagged statement. The " -- "
+// separator and a non-empty reason are mandatory: a directive without
+// one still suppresses, but RunAll reports it as an "ignore-reason"
+// meta-finding, so an unjustified suppression cannot pass the gate.
 package analysis
 
 import (
@@ -25,13 +28,22 @@ import (
 	"strings"
 )
 
-// Finding is one diagnostic produced by a checker.
+// Finding is one diagnostic produced by a checker. The JSON shape is
+// the tool's machine-readable contract (documented in README.md):
+// start and end positions are both line/col and byte offsets so
+// downstream tooling can slice sources without re-parsing, and Doc
+// carries the producing checker's one-line description.
 type Finding struct {
-	Check   string `json:"check"`
-	Message string `json:"message"`
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
+	Check     string `json:"check"`
+	Doc       string `json:"doc,omitempty"`
+	Message   string `json:"message"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Offset    int    `json:"offset"`
+	EndLine   int    `json:"endLine"`
+	EndCol    int    `json:"endCol"`
+	EndOffset int    `json:"endOffset"`
 }
 
 // String renders a finding in the conventional file:line:col form.
@@ -46,19 +58,41 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
+	// Confined is the loader's registry of //prionnvet:confined
+	// annotations: function objects (from this package or any
+	// module-internal dependency the loader type-checked) whose calls
+	// the confined-call checker gates. May be nil.
+	Confined map[*types.Func]bool
+
 	// funcs memoizes the dataflow analysis (see FuncInfos): every
 	// checker running over the same Pass shares one def-use computation.
 	funcs []*FuncInfo
+	// cg memoizes the interprocedural call graph (see CallGraph).
+	cg *CallGraph
 }
 
 func (p *Pass) finding(check string, pos token.Pos, format string, args ...any) Finding {
+	return p.rangeFinding(check, pos, pos, format, args...)
+}
+
+// rangeFinding is finding with an explicit end position, for checkers
+// that can point at a whole expression rather than a single token.
+func (p *Pass) rangeFinding(check string, pos, end token.Pos, format string, args ...any) Finding {
 	position := p.Fset.Position(pos)
+	endPos := position
+	if end.IsValid() && end != pos {
+		endPos = p.Fset.Position(end)
+	}
 	return Finding{
-		Check:   check,
-		Message: fmt.Sprintf(format, args...),
-		File:    position.Filename,
-		Line:    position.Line,
-		Col:     position.Column,
+		Check:     check,
+		Message:   fmt.Sprintf(format, args...),
+		File:      position.Filename,
+		Line:      position.Line,
+		Col:       position.Column,
+		Offset:    position.Offset,
+		EndLine:   endPos.Line,
+		EndCol:    endPos.Column,
+		EndOffset: endPos.Offset,
 	}
 }
 
@@ -86,6 +120,11 @@ func All() []Checker {
 		SeedFlow{},
 		TimeDep{},
 		NondetSelect{},
+		CtxPropagation{},
+		ArenaLeak{},
+		LockHeldIO{},
+		ConfinedCall{},
+		AtomicPlainMix{},
 	}
 }
 
@@ -101,20 +140,42 @@ func ByName(name string) Checker {
 
 // RunAll runs the given checkers over a pass, drops suppressed findings,
 // and returns the rest sorted by position. A nil checkers slice means
-// All().
+// All(). Independently of the checker subset, every //prionnvet:ignore
+// directive with no " -- reason" yields an ignore-reason meta-finding:
+// a suppression without a written justification is itself a gate
+// violation, and it cannot suppress its own report.
 func RunAll(p *Pass, checkers []Checker) []Finding {
 	if checkers == nil {
 		checkers = All()
 	}
-	sup := collectSuppressions(p)
+	dirs := collectDirectives(p)
+	sup := suppressionsFrom(dirs)
 	var out []Finding
 	for _, c := range checkers {
 		for _, f := range c.Run(p) {
 			if sup.suppressed(f) {
 				continue
 			}
+			f.Doc = c.Doc()
 			out = append(out, f)
 		}
+	}
+	for _, d := range dirs {
+		if d.reason != "" {
+			continue
+		}
+		out = append(out, Finding{
+			Check:     "ignore-reason",
+			Doc:       ignoreReasonDoc,
+			Message:   fmt.Sprintf("suppression of %s has no justification; write //prionnvet:ignore %s -- <reason>", strings.Join(d.checks, ","), strings.Join(d.checks, ",")),
+			File:      d.pos.Filename,
+			Line:      d.pos.Line,
+			Col:       d.pos.Column,
+			Offset:    d.pos.Offset,
+			EndLine:   d.pos.Line,
+			EndCol:    d.pos.Column,
+			EndOffset: d.pos.Offset,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
@@ -132,9 +193,67 @@ func RunAll(p *Pass, checkers []Checker) []Finding {
 }
 
 // ignorePrefix is the suppression marker. The directive form is
-// "//prionnvet:ignore check1,check2 reason..." with no space before
-// "prionnvet" (matching the //go: directive convention).
+//
+//	//prionnvet:ignore check1,check2 -- reason
+//
+// with no space before "prionnvet" (matching the //go: directive
+// convention). The " -- " separator divides the check list from the
+// mandatory justification; a directive without one still suppresses
+// (so legacy comments do not un-silence old findings in one step) but
+// is reported by the ignore-reason meta-finding.
 const ignorePrefix = "prionnvet:ignore"
+
+// ignoreReasonDoc documents the meta-finding emitted by RunAll for
+// directives missing a " -- reason" justification.
+const ignoreReasonDoc = "every //prionnvet:ignore must carry a written justification after ' -- '"
+
+// directive is one parsed //prionnvet:ignore comment.
+type directive struct {
+	checks []string       // named checks, or ["all"]
+	reason string         // text after " -- ", "" when absent
+	pos    token.Position // position of the comment itself
+}
+
+// collectDirectives parses every //prionnvet:ignore comment in the pass.
+func collectDirectives(p *Pass) []directive {
+	var dirs []directive
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				var reason string
+				if head, tail, found := strings.Cut(rest, "--"); found {
+					rest = strings.TrimSpace(head)
+					reason = strings.TrimSpace(tail)
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					// Bare ignore with no check list: treat as "all" so a
+					// malformed directive fails loudly in review, not
+					// silently.
+					fields = []string{"all"}
+				}
+				var checks []string
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						checks = append(checks, name)
+					}
+				}
+				dirs = append(dirs, directive{
+					checks: checks,
+					reason: reason,
+					pos:    p.Fset.Position(c.Pos()),
+				})
+			}
+		}
+	}
+	return dirs
+}
 
 // suppressions maps file -> line -> set of suppressed check names.
 // The special name "all" suppresses every check.
@@ -159,41 +278,21 @@ func (s suppressions) suppressed(f Finding) bool {
 	return false
 }
 
-func collectSuppressions(p *Pass) suppressions {
+func suppressionsFrom(dirs []directive) suppressions {
 	sup := suppressions{}
-	for _, file := range p.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, ignorePrefix) {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					// Bare ignore with no check list: treat as "all" so a
-					// malformed directive fails loudly in review, not
-					// silently.
-					fields = []string{"all"}
-				}
-				pos := p.Fset.Position(c.Pos())
-				lines := sup[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					sup[pos.Filename] = lines
-				}
-				checks := lines[pos.Line]
-				if checks == nil {
-					checks = map[string]bool{}
-					lines[pos.Line] = checks
-				}
-				for _, name := range strings.Split(fields[0], ",") {
-					if name = strings.TrimSpace(name); name != "" {
-						checks[name] = true
-					}
-				}
-			}
+	for _, d := range dirs {
+		lines := sup[d.pos.Filename]
+		if lines == nil {
+			lines = map[int]map[string]bool{}
+			sup[d.pos.Filename] = lines
+		}
+		checks := lines[d.pos.Line]
+		if checks == nil {
+			checks = map[string]bool{}
+			lines[d.pos.Line] = checks
+		}
+		for _, name := range d.checks {
+			checks[name] = true
 		}
 	}
 	return sup

@@ -128,6 +128,28 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
+// TestIgnoreReasonMetaFinding pins the satellite contract: a directive
+// without " -- reason" still suppresses the named check but yields an
+// ignore-reason meta-finding — which no directive can silence.
+func TestIgnoreReasonMetaFinding(t *testing.T) {
+	loader, pkg := loadFixture(t, "ignore-reason")
+	pass := pkg.Pass(loader.Fset)
+	got := RunAll(pass, nil)
+	if len(got) != 1 {
+		t.Fatalf("RunAll = %v, want exactly one ignore-reason finding", got)
+	}
+	f := got[0]
+	if f.Check != "ignore-reason" || f.Line != 7 {
+		t.Errorf("finding = %+v, want ignore-reason at line 7", f)
+	}
+	if !strings.Contains(f.Message, "float-eq") {
+		t.Errorf("message %q does not name the suppressed check", f.Message)
+	}
+	if f.Doc != ignoreReasonDoc {
+		t.Errorf("doc = %q, want %q", f.Doc, ignoreReasonDoc)
+	}
+}
+
 // TestSuppressionScope pins the directive's reach: its own line and the
 // next line, nothing further.
 func TestSuppressionScope(t *testing.T) {
@@ -182,6 +204,32 @@ func TestLoaderModuleResolution(t *testing.T) {
 	}
 	if pkg.Pkg.Scope().Lookup("SeriesAccuracy") == nil {
 		t.Errorf("type info missing SeriesAccuracy")
+	}
+}
+
+// TestLoaderConfinedRegistry pins the cross-package annotation path:
+// loading internal/serve pulls internal/prionn through the loader's
+// own ImportFrom, whose LoadDir scans //prionnvet:confined doc
+// comments into the shared registry — so a pass over serve sees the
+// Inference prediction methods declared in prionn.
+func TestLoaderConfinedRegistry(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("..", "serve"))
+	if err != nil {
+		t.Fatalf("LoadDir(internal/serve): %v", err)
+	}
+	pass := pkg.Pass(loader.Fset)
+	got := map[string]bool{}
+	for fn := range pass.Confined {
+		got[fn.Name()] = true
+	}
+	for _, want := range []string{"PredictMapped", "Predict", "PredictOne"} {
+		if !got[want] {
+			t.Errorf("confined registry missing Inference.%s; has %v", want, got)
+		}
 	}
 }
 

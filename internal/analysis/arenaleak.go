@@ -1,0 +1,386 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ArenaLeak is the compile-time companion of the runtime leak check in
+// tensor/pool.go (Arena.Outstanding): a buffer checked out of an
+// arena-like pool (any type with both Get and Put methods — tensor.Arena,
+// sync.Pool) must be released, handed to an owner, or escape the
+// function. Two shapes are flagged:
+//
+//   - a checkout whose result is only ever read locally and never
+//     released, handed off, or escaped — the buffer silently leaks from
+//     the pool's accounting;
+//   - a return statement between a checkout and its (positional)
+//     release — the early-return path skips the Put.
+//
+// Ownership transfer is resolved interprocedurally: passing the buffer
+// to an in-package function discharges the obligation only if that
+// function's parameter is itself released or escapes (a fixpoint over
+// the call graph); passing it to an opaque callee, returning it, or
+// storing it anywhere is conservatively treated as a hand-off, keeping
+// the checker on the no-false-positive side.
+type ArenaLeak struct{}
+
+// Name implements Checker.
+func (ArenaLeak) Name() string { return "arena-leak" }
+
+// Doc implements Checker.
+func (ArenaLeak) Doc() string {
+	return "buffer from an arena Get must be released, handed off, or escape on every path"
+}
+
+// useRole classifies what one occurrence of a checked-out buffer does
+// with the value.
+type useRole int
+
+const (
+	// roleRead is a pure read (indexing, field access, method receiver):
+	// it does not discharge the release obligation.
+	roleRead useRole = iota
+	// roleRelease is Put(buf) or Reuse(buf, ...) on an arena-like receiver.
+	roleRelease
+	// roleEscape covers returns, stores, channel sends, address-taking,
+	// composite literals, and closure captures: ownership leaves the
+	// local analysis, so the obligation is conservatively discharged.
+	roleEscape
+	// roleExternalHandoff is an argument of an opaque call (external
+	// function, literal, unresolved): assume the callee takes ownership.
+	roleExternalHandoff
+	// roleInternalHandoff is an argument of an in-package call: the
+	// obligation is discharged only if the callee handles that parameter.
+	roleInternalHandoff
+)
+
+// useClass is the classification of one occurrence.
+type useClass struct {
+	role     useRole
+	deferred bool          // release inside a defer statement
+	callees  []*types.Func // resolved in-package callees for roleInternalHandoff
+	argIdx   int           // argument index for roleInternalHandoff
+}
+
+// Run implements Checker.
+func (ArenaLeak) Run(p *Pass) []Finding {
+	g := p.CallGraph()
+	handled := handledParams(p, g)
+	var out []Finding
+	for _, fi := range p.FuncInfos() {
+		parents := parentMap(fi.Decl)
+		ast.Inspect(fi.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, isArena := arenaCallName(p, call)
+			if !isArena || name == "Put" {
+				return true
+			}
+			// Get or Reuse: a checkout. How is the result consumed?
+			home := g.NodeAt(call.Pos())
+			if home == nil {
+				return true
+			}
+			parent := parents[call]
+			for {
+				if pe, ok := parent.(*ast.ParenExpr); ok {
+					parent = parents[pe]
+					continue
+				}
+				break
+			}
+			switch pa := parent.(type) {
+			case *ast.ExprStmt:
+				out = append(out, p.rangeFinding("arena-leak", call.Pos(), call.End(),
+					"result of arena %s is discarded; the checked-out buffer can never be released", name))
+			case *ast.AssignStmt:
+				var lhs ast.Expr
+				for i, r := range pa.Rhs {
+					if len(pa.Lhs) == len(pa.Rhs) && ast.Unparen(r) == call {
+						lhs = pa.Lhs[i]
+					}
+				}
+				id, okID := lhs.(*ast.Ident)
+				if !okID {
+					return true // stored into a field or index: escapes
+				}
+				v := fi.localVarOfDef(id)
+				if v == nil {
+					return true
+				}
+				out = append(out, checkCheckout(p, g, fi, parents, handled, call, v, home, name)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkCheckout analyses the lifetime of one tracked checkout.
+func checkCheckout(p *Pass, g *CallGraph, fi *FuncInfo, parents map[ast.Node]ast.Node, handled map[*types.Func][]bool, call *ast.CallExpr, v *types.Var, home *CGNode, name string) []Finding {
+	discharged, deferredRelease := false, false
+	minDischarge := token.Pos(1 << 40)
+	for _, id := range fi.Uses[v] {
+		if id.Pos() <= call.End() {
+			continue // earlier lifetime of a reused variable
+		}
+		u := classifyArenaUse(p, g, parents, id, home)
+		ok := false
+		switch u.role {
+		case roleRelease:
+			ok = true
+			if u.deferred {
+				deferredRelease = true
+			}
+		case roleEscape, roleExternalHandoff:
+			ok = true
+		case roleInternalHandoff:
+			for _, c := range u.callees {
+				if paramIsHandled(handled[c], u.argIdx) {
+					ok = true
+					break
+				}
+			}
+		}
+		if ok {
+			discharged = true
+			if id.Pos() < minDischarge {
+				minDischarge = id.Pos()
+			}
+		}
+	}
+	if !discharged {
+		return []Finding{p.rangeFinding("arena-leak", call.Pos(), call.End(),
+			"arena buffer %s is never released, handed off, or returned; it leaks from the pool", v.Name())}
+	}
+	if deferredRelease {
+		return nil // defer covers every return path
+	}
+	// The discharge is positional: any return between the checkout and
+	// the first discharging use skips it.
+	var out []Finding
+	getLine := p.Fset.Position(call.Pos()).Line
+	inspectOwn(home.Body(), func(x ast.Node) {
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		if ret.Pos() > call.End() && ret.End() < minDischarge {
+			out = append(out, p.rangeFinding("arena-leak", ret.Pos(), ret.End(),
+				"returning here leaks arena buffer %s checked out at line %d; release it first or use a deferred Put/Scope", v.Name(), getLine))
+		}
+	})
+	return out
+}
+
+// classifyArenaUse decides what one occurrence of the buffer does,
+// from its syntactic context. home is the call-graph node that owns the
+// checkout: an occurrence in a different node is a closure capture.
+func classifyArenaUse(p *Pass, g *CallGraph, parents map[ast.Node]ast.Node, id *ast.Ident, home *CGNode) useClass {
+	u := useClass{role: roleRead, argIdx: -1}
+	if n := g.NodeAt(id.Pos()); n != home {
+		u.role = roleEscape // captured by a nested literal
+		return u
+	}
+	var e ast.Node = id
+	for {
+		if pe, ok := parents[e].(*ast.ParenExpr); ok {
+			e = pe
+			continue
+		}
+		break
+	}
+	switch parent := parents[e].(type) {
+	case *ast.CallExpr:
+		if parent.Fun == e {
+			return u // calling the value itself
+		}
+		idx := -1
+		for i, a := range parent.Args {
+			if a == e {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return u
+		}
+		if name, ok := arenaCallName(p, parent); ok && (name == "Put" || name == "Reuse") && idx == 0 {
+			u.role = roleRelease
+			if _, isDefer := parents[parent].(*ast.DeferStmt); isDefer {
+				u.deferred = true
+			}
+			return u
+		}
+		edges := g.SiteEdges(parent)
+		if len(edges) == 0 {
+			// Builtin or conversion: append aliases the value, the rest
+			// (copy, len, cap) only read it.
+			if fid, ok := ast.Unparen(parent.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := p.Info.Uses[fid].(*types.Builtin); isBuiltin {
+					if fid.Name == "append" {
+						u.role = roleEscape
+					}
+					return u
+				}
+			}
+			u.role = roleEscape // conversion or other opaque form
+			return u
+		}
+		for _, ed := range edges {
+			if ed.Target == nil || ed.Target.Fn == nil {
+				u.role = roleExternalHandoff
+				return u
+			}
+			u.callees = append(u.callees, ed.Callee)
+		}
+		u.role = roleInternalHandoff
+		u.argIdx = idx
+		return u
+	case *ast.SelectorExpr:
+		return u // t.Data, t.Method(...): read
+	case *ast.IndexExpr, *ast.SliceExpr, *ast.BinaryExpr, *ast.StarExpr,
+		*ast.IfStmt, *ast.SwitchStmt, *ast.ForStmt, *ast.RangeStmt, *ast.ExprStmt:
+		return u
+	default:
+		// ReturnStmt, AssignStmt RHS, SendStmt, UnaryExpr (&), composite
+		// literals, and anything unanticipated: conservatively an escape.
+		u.role = roleEscape
+		return u
+	}
+}
+
+// handledParams computes, for every in-package function, which
+// parameters discharge an arena obligation when a buffer is passed in:
+// the parameter is released, escapes, or is forwarded to another
+// handled parameter (least fixpoint over the call graph).
+func handledParams(p *Pass, g *CallGraph) map[*types.Func][]bool {
+	type dep struct {
+		fn        *types.Func
+		idx       int
+		callees   []*types.Func
+		calleeIdx int
+	}
+	handled := map[*types.Func][]bool{}
+	var deps []dep
+	for _, fi := range p.FuncInfos() {
+		node := g.NodeOf(fi.Decl)
+		if node == nil || node.Fn == nil {
+			continue
+		}
+		params := paramVarsOf(p, fi.Decl)
+		flags := make([]bool, len(params))
+		parents := parentMap(fi.Decl)
+		for i, pv := range params {
+			if pv == nil {
+				continue
+			}
+			for _, id := range fi.Uses[pv] {
+				u := classifyArenaUse(p, g, parents, id, node)
+				switch u.role {
+				case roleRelease, roleEscape, roleExternalHandoff:
+					flags[i] = true
+				case roleInternalHandoff:
+					deps = append(deps, dep{node.Fn, i, u.callees, u.argIdx})
+				}
+			}
+		}
+		handled[node.Fn] = flags
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range deps {
+			if handled[d.fn][d.idx] {
+				continue
+			}
+			for _, c := range d.callees {
+				if paramIsHandled(handled[c], d.calleeIdx) {
+					handled[d.fn][d.idx] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return handled
+}
+
+// paramIsHandled consults a handled-flags slice, clamping the index for
+// variadic tails.
+func paramIsHandled(flags []bool, idx int) bool {
+	if len(flags) == 0 || idx < 0 {
+		return false
+	}
+	if idx >= len(flags) {
+		idx = len(flags) - 1
+	}
+	return flags[idx]
+}
+
+// paramVarsOf returns the parameter objects of a declaration in
+// positional order (nil for unnamed parameters).
+func paramVarsOf(p *Pass, decl *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if decl.Type.Params == nil {
+		return out
+	}
+	for _, fld := range decl.Type.Params.List {
+		if len(fld.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range fld.Names {
+			v, _ := p.Info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// arenaCallName reports calls of Get, Put, or Reuse on an arena-like
+// receiver (a type with both Get and Put methods).
+func arenaCallName(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Get" && name != "Put" && name != "Reuse" {
+		return "", false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	if !isArenaLike(s.Recv()) {
+		return "", false
+	}
+	return name, true
+}
+
+// isArenaLike reports whether t is a pool type with a Get/Put checkout
+// discipline. tensor.Arena and sync.Pool qualify; tensor.Scope does not
+// (Get/Release — its Release already returns everything).
+func isArenaLike(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return hasMethod(t, "Get") && hasMethod(t, "Put")
+}
+
+// hasMethod reports whether t (or *t) has a method with the given name.
+func hasMethod(t types.Type, name string) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}

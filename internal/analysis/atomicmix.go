@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicPlainMix flags variables that are accessed both through the
+// sync/atomic functions and by plain loads or stores — the exact shape
+// of the pre-PR 1 tensor.maxWorkers race: atomic on the hot path, a
+// plain write in a setter, and the race detector only catches it when
+// both paths happen to run. Mixing the two defeats the atomics: a plain
+// access participates in no happens-before edge.
+//
+// Known-single-threaded contexts are exempt: occurrences inside init
+// functions, composite literals (construction before publication), and
+// address-taking for purposes other than the atomic calls themselves
+// (which are recognized by their call ranges).
+type AtomicPlainMix struct{}
+
+// Name implements Checker.
+func (AtomicPlainMix) Name() string { return "atomic-plain-mix" }
+
+// Doc implements Checker.
+func (AtomicPlainMix) Doc() string {
+	return "variable accessed via sync/atomic must not also be read or written plainly"
+}
+
+// Run implements Checker.
+func (AtomicPlainMix) Run(p *Pass) []Finding {
+	type span struct{ lo, hi token.Pos }
+	var atomicRanges []span
+	targets := map[*types.Var]token.Position{} // var -> first atomic site
+
+	for _, file := range p.Files {
+		ast.Inspect(file, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, _, okQ := qualifiedCall(p.Info, call)
+			if !okQ || pkg != "sync/atomic" {
+				return true
+			}
+			atomicRanges = append(atomicRanges, span{call.Pos(), call.End()})
+			for _, arg := range call.Args {
+				u, okU := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !okU || u.Op != token.AND {
+					continue
+				}
+				if v := plainVarOf(p, u.X); v != nil {
+					if _, seen := targets[v]; !seen {
+						targets[v] = p.Fset.Position(call.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	inAtomic := func(pos token.Pos) bool {
+		for _, r := range atomicRanges {
+			if r.lo <= pos && pos < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Finding
+	for _, file := range p.Files {
+		parents := parentMap(file)
+		ast.Inspect(file, func(x ast.Node) bool {
+			switch s := x.(type) {
+			case *ast.FuncDecl:
+				if s.Name.Name == "init" && s.Recv == nil {
+					return false // single-threaded by the language spec
+				}
+				return true
+			case *ast.CompositeLit:
+				return false // construction before publication
+			case *ast.Ident:
+				v, ok := p.Info.Uses[s].(*types.Var)
+				if !ok {
+					return true
+				}
+				first, isTarget := targets[v]
+				if !isTarget || inAtomic(s.Pos()) {
+					return true
+				}
+				// Climb the selector chain (c.n -> the whole SelectorExpr)
+				// and skip address-taking: &v outside an atomic call is a
+				// hand-off, not a plain access.
+				var e ast.Node = s
+				for {
+					if sel, okSel := parents[e].(*ast.SelectorExpr); okSel && sel.Sel == e {
+						e = sel
+						continue
+					}
+					if pe, okPar := parents[e].(*ast.ParenExpr); okPar {
+						e = pe
+						continue
+					}
+					break
+				}
+				if u, okU := parents[e].(*ast.UnaryExpr); okU && u.Op == token.AND {
+					return true
+				}
+				out = append(out, p.finding("atomic-plain-mix", s.Pos(),
+					"%s is accessed atomically (e.g. at %s:%d) but read/written plainly here; use sync/atomic on every access",
+					v.Name(), shortFile(first.Filename), first.Line))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// plainVarOf resolves an ident or selector to the variable it names.
+func plainVarOf(p *Pass, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		} else if v, ok := p.Info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// shortFile trims a path to its base name for compact messages.
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

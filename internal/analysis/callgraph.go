@@ -1,0 +1,611 @@
+package analysis
+
+// Interprocedural layer: a memoized package-level call graph built on
+// the SSA-lite def-use engine (dataflow.go), plus cross-function taint.
+// The graph has one node per function *body* — top-level declarations
+// and the function literals nested inside them — because goroutine
+// launches (`go func() {...}()`) and deferred closures are bodies of
+// their own: reachability questions ("which launch sites reach this
+// confined API?", "does anything under this lock block?") need literal
+// granularity even though literals share their host declaration's
+// def-use index.
+//
+// Resolution is deliberately conservative in the no-false-positive
+// direction: direct calls and concrete method calls resolve exactly;
+// interface method calls fan out to every in-package concrete method
+// implementing the interface; calls through local function-valued
+// variables resolve through the variable's def-use chain to every
+// function value ever assigned to it; anything else (parameters,
+// struct fields, channel-received values) yields an explicitly
+// Unresolved edge so checkers can choose to under-approximate rather
+// than guess.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EdgeKind classifies how a call site resolved to its callee.
+type EdgeKind int
+
+const (
+	// EdgeDirect is a plain call of a declared function (same package
+	// or imported).
+	EdgeDirect EdgeKind = iota
+	// EdgeMethod is a method call with a concrete (non-interface)
+	// receiver.
+	EdgeMethod
+	// EdgeInterface is a method call through an interface, resolved
+	// conservatively: one edge per in-package concrete method that
+	// implements the interface (or a single external edge to the
+	// interface method itself when no implementer is in the package).
+	EdgeInterface
+	// EdgeFuncValue is a call of a local function-valued variable,
+	// resolved through its def-use chain to the values assigned to it.
+	EdgeFuncValue
+	// EdgeLiteral is an immediately invoked function literal.
+	EdgeLiteral
+)
+
+// CGNode is one function body in the call graph: a top-level
+// declaration or a function literal nested inside one.
+type CGNode struct {
+	// Fn is the declared object; nil for function literals.
+	Fn *types.Func
+	// Lit is non-nil for literal nodes.
+	Lit *ast.FuncLit
+	// Decl is the hosting top-level declaration (for literals, the
+	// declaration whose body lexically contains them).
+	Decl *ast.FuncDecl
+}
+
+// Body returns the node's executable body.
+func (n *CGNode) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// CGEdge is one resolved call site.
+type CGEdge struct {
+	Caller *CGNode
+	Site   *ast.CallExpr
+	Kind   EdgeKind
+	// Callee is the resolved callee object (declared function or
+	// method, possibly from another package). Nil when the target is a
+	// function literal or the site is Unresolved.
+	Callee *types.Func
+	// Target is the in-package body of the callee; nil for external
+	// callees and unresolved sites.
+	Target *CGNode
+	// Unresolved marks func-value calls whose def-use chain produced
+	// no static callee (parameters, struct fields, channel receives).
+	Unresolved bool
+}
+
+// Launch is one goroutine-launch site.
+type Launch struct {
+	Go *ast.GoStmt
+	// Node is the function body containing the go statement.
+	Node *CGNode
+	// InLoop reports whether the launch is lexically inside a
+	// for/range statement of the same body — one go statement, many
+	// goroutines.
+	InLoop bool
+}
+
+// CallGraph is the package-level call graph, memoized on the Pass.
+type CallGraph struct {
+	pass     *Pass
+	Nodes    []*CGNode
+	Launches []Launch
+
+	nodeByAST map[ast.Node]*CGNode
+	nodeByFn  map[*types.Func]*CGNode
+	out       map[*CGNode][]*CGEdge
+	in        map[*CGNode][]*CGEdge
+	sites     map[*types.Func][]*CGEdge
+	bySite    map[*ast.CallExpr][]*CGEdge
+}
+
+// CallGraph returns the package call graph, building it on first use.
+// Checkers sharing a Pass share one graph.
+func (p *Pass) CallGraph() *CallGraph {
+	if p.cg != nil {
+		return p.cg
+	}
+	g := &CallGraph{
+		pass:      p,
+		nodeByAST: map[ast.Node]*CGNode{},
+		nodeByFn:  map[*types.Func]*CGNode{},
+		out:       map[*CGNode][]*CGEdge{},
+		in:        map[*CGNode][]*CGEdge{},
+		sites:     map[*types.Func][]*CGEdge{},
+		bySite:    map[*ast.CallExpr][]*CGEdge{},
+	}
+	// Register every declaration first so same-package edges resolve to
+	// their targets regardless of file order.
+	var decls []*ast.FuncDecl
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			node := &CGNode{Decl: fn}
+			if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+				node.Fn = obj
+				g.nodeByFn[obj] = node
+			}
+			g.nodeByAST[fn] = node
+			g.Nodes = append(g.Nodes, node)
+			decls = append(decls, fn)
+		}
+	}
+	for _, fn := range decls {
+		g.collect(g.nodeByAST[fn], fn.Body, false)
+	}
+	p.cg = g
+	return g
+}
+
+// ensureLit registers (or returns) the node for a function literal
+// hosted by decl.
+func (g *CallGraph) ensureLit(lit *ast.FuncLit, decl *ast.FuncDecl) *CGNode {
+	if n, ok := g.nodeByAST[lit]; ok {
+		return n
+	}
+	n := &CGNode{Lit: lit, Decl: decl}
+	g.nodeByAST[lit] = n
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// collect walks one body, attributing call sites and launches to node
+// and descending into nested literals as their own nodes. inLoop
+// tracks lexical for/range nesting within the body.
+func (g *CallGraph) collect(node *CGNode, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			child := g.ensureLit(s, node.Decl)
+			g.collect(child, s.Body, false)
+			return false
+		case *ast.ForStmt:
+			if s.Init != nil {
+				g.collect(node, s.Init, inLoop)
+			}
+			if s.Cond != nil {
+				g.collect(node, s.Cond, inLoop)
+			}
+			if s.Post != nil {
+				g.collect(node, s.Post, inLoop)
+			}
+			g.collect(node, s.Body, true)
+			return false
+		case *ast.RangeStmt:
+			g.collect(node, s.X, inLoop)
+			g.collect(node, s.Body, true)
+			return false
+		case *ast.GoStmt:
+			g.Launches = append(g.Launches, Launch{Go: s, Node: node, InLoop: inLoop})
+			// Fall through: the launched CallExpr is resolved like any
+			// other call site when Inspect visits it.
+		case *ast.CallExpr:
+			g.addEdges(node, s)
+		}
+		return true
+	})
+}
+
+// addEdges resolves one call site and records its edges.
+func (g *CallGraph) addEdges(caller *CGNode, call *ast.CallExpr) {
+	p := g.pass
+	fun := ast.Unparen(call.Fun)
+	// Peel generic instantiations: f[T](x) calls f.
+	for {
+		if ix, ok := fun.(*ast.IndexExpr); ok {
+			fun = ast.Unparen(ix.X)
+			continue
+		}
+		if ix, ok := fun.(*ast.IndexListExpr); ok {
+			fun = ast.Unparen(ix.X)
+			continue
+		}
+		break
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := p.Info.Uses[f].(type) {
+		case *types.Func:
+			g.edge(caller, call, EdgeDirect, obj, nil)
+		case *types.Var:
+			g.funcValueEdges(caller, call, obj)
+		}
+		// Builtins and type conversions: no edge.
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[f]; ok {
+			fn, okF := sel.Obj().(*types.Func)
+			if !okF {
+				// Func-typed struct field: statically opaque.
+				g.edgeUnresolved(caller, call)
+				return
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+				iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+				impls := g.implementers(iface, fn.Name())
+				if len(impls) == 0 {
+					g.edge(caller, call, EdgeInterface, fn, nil)
+				}
+				for _, m := range impls {
+					g.edge(caller, call, EdgeInterface, m, nil)
+				}
+				return
+			}
+			g.edge(caller, call, EdgeMethod, fn, nil)
+			return
+		}
+		// Qualified call (pkg.F) or method expression (T.M).
+		if obj, ok := p.Info.Uses[f.Sel].(*types.Func); ok {
+			g.edge(caller, call, EdgeDirect, obj, nil)
+		}
+	case *ast.FuncLit:
+		g.edge(caller, call, EdgeLiteral, nil, g.ensureLit(f, caller.Decl))
+	}
+}
+
+// funcValueEdges resolves a call of a local function-valued variable
+// through its def-use chain.
+func (g *CallGraph) funcValueEdges(caller *CGNode, call *ast.CallExpr, v *types.Var) {
+	p := g.pass
+	fi := p.FuncInfoAt(call.Pos())
+	if fi == nil || !fi.isLocal(v) {
+		g.edgeUnresolved(caller, call)
+		return
+	}
+	resolved, opaque := false, false
+	for _, d := range fi.Defs[v] {
+		if d.RHS == nil {
+			// Parameter or zero def: the value comes from a caller the
+			// graph cannot see.
+			opaque = true
+			continue
+		}
+		switch rhs := ast.Unparen(d.RHS).(type) {
+		case *ast.Ident:
+			if fn, ok := p.Info.Uses[rhs].(*types.Func); ok {
+				g.edge(caller, call, EdgeFuncValue, fn, nil)
+				resolved = true
+			} else {
+				opaque = true
+			}
+		case *ast.SelectorExpr:
+			var fn *types.Func
+			if sel, ok := p.Info.Selections[rhs]; ok {
+				fn, _ = sel.Obj().(*types.Func)
+			} else if o, ok := p.Info.Uses[rhs.Sel].(*types.Func); ok {
+				fn = o
+			}
+			if fn != nil {
+				g.edge(caller, call, EdgeFuncValue, fn, nil)
+				resolved = true
+			} else {
+				opaque = true
+			}
+		case *ast.FuncLit:
+			g.edge(caller, call, EdgeFuncValue, nil, g.ensureLit(rhs, fi.Decl))
+			resolved = true
+		default:
+			opaque = true
+		}
+	}
+	if !resolved || opaque {
+		g.edgeUnresolved(caller, call)
+	}
+}
+
+// implementers returns the in-package concrete methods named name whose
+// receiver type implements iface. Package scope names are sorted, so
+// the fan-out order is deterministic.
+func (g *CallGraph) implementers(iface *types.Interface, name string) []*types.Func {
+	if iface == nil {
+		return nil
+	}
+	scope := g.pass.Pkg.Scope()
+	var out []*types.Func
+	for _, nm := range scope.Names() {
+		tn, ok := scope.Lookup(nm).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		var recv types.Type
+		switch {
+		case types.Implements(named, iface):
+			recv = named
+		case types.Implements(types.NewPointer(named), iface):
+			recv = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, g.pass.Pkg, name)
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+func (g *CallGraph) edge(caller *CGNode, call *ast.CallExpr, kind EdgeKind, callee *types.Func, target *CGNode) {
+	if target == nil && callee != nil {
+		target = g.nodeByFn[callee]
+	}
+	e := &CGEdge{Caller: caller, Site: call, Kind: kind, Callee: callee, Target: target}
+	g.record(e)
+}
+
+func (g *CallGraph) edgeUnresolved(caller *CGNode, call *ast.CallExpr) {
+	g.record(&CGEdge{Caller: caller, Site: call, Kind: EdgeFuncValue, Unresolved: true})
+}
+
+func (g *CallGraph) record(e *CGEdge) {
+	g.out[e.Caller] = append(g.out[e.Caller], e)
+	if e.Target != nil {
+		g.in[e.Target] = append(g.in[e.Target], e)
+	}
+	if e.Callee != nil {
+		g.sites[e.Callee] = append(g.sites[e.Callee], e)
+	}
+	g.bySite[e.Site] = append(g.bySite[e.Site], e)
+}
+
+// EdgesFrom returns the call sites inside n, in source order.
+func (g *CallGraph) EdgesFrom(n *CGNode) []*CGEdge { return g.out[n] }
+
+// EdgesTo returns the in-package call sites whose target is n.
+func (g *CallGraph) EdgesTo(n *CGNode) []*CGEdge { return g.in[n] }
+
+// CallSitesOf returns every edge resolving to the given callee object,
+// in-package or external.
+func (g *CallGraph) CallSitesOf(fn *types.Func) []*CGEdge { return g.sites[fn] }
+
+// SiteEdges returns the edges recorded for one call expression (several
+// for interface fan-out).
+func (g *CallGraph) SiteEdges(call *ast.CallExpr) []*CGEdge { return g.bySite[call] }
+
+// NodeOf returns the node for a FuncDecl or FuncLit, or nil.
+func (g *CallGraph) NodeOf(n ast.Node) *CGNode { return g.nodeByAST[n] }
+
+// DeclNode returns the node of a declared same-package function, or nil.
+func (g *CallGraph) DeclNode(fn *types.Func) *CGNode { return g.nodeByFn[fn] }
+
+// NodeAt returns the innermost node whose body contains pos, or nil.
+func (g *CallGraph) NodeAt(pos token.Pos) *CGNode {
+	var best *CGNode
+	for _, n := range g.Nodes {
+		b := n.Body()
+		if b.Pos() <= pos && pos <= b.End() {
+			if best == nil || (best.Body().Pos() <= b.Pos() && b.End() <= best.Body().End()) {
+				best = n
+			}
+		}
+	}
+	return best
+}
+
+// NodeName renders a stable identifier for messages: "f", "(T).m", or
+// "f·lit@line" for literals.
+func (g *CallGraph) NodeName(n *CGNode) string {
+	name := n.Decl.Name.Name
+	if n.Decl.Recv != nil && len(n.Decl.Recv.List) > 0 {
+		name = fmt.Sprintf("(%s).%s", types.ExprString(n.Decl.Recv.List[0].Type), name)
+	}
+	if n.Lit != nil {
+		return fmt.Sprintf("%s·lit@%d", name, g.pass.Fset.Position(n.Lit.Pos()).Line)
+	}
+	return name
+}
+
+// FuncName renders a callee object for messages: "Type.Method" or
+// "pkg.Func" for external functions, bare "Func" in-package.
+func (g *CallGraph) FuncName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != g.pass.Pkg {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// ReachableFrom returns every node reachable from start through
+// in-package edges, start included.
+func (g *CallGraph) ReachableFrom(start *CGNode) map[*CGNode]bool {
+	seen := map[*CGNode]bool{start: true}
+	work := []*CGNode{start}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range g.out[n] {
+			if e.Target != nil && !seen[e.Target] {
+				seen[e.Target] = true
+				work = append(work, e.Target)
+			}
+		}
+	}
+	return seen
+}
+
+// Propagate computes the least fixpoint of a bottom-up boolean fact:
+// base gives each node's own contribution, and a node acquires the
+// fact when any of its in-package callees holds it. This is how "does
+// anything this function reaches do file IO?" style questions are
+// answered without inlining.
+func (g *CallGraph) Propagate(base func(*CGNode) bool) map[*CGNode]bool {
+	fact := map[*CGNode]bool{}
+	for _, n := range g.Nodes {
+		if base(n) {
+			fact[n] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if fact[n] {
+				continue
+			}
+			for _, e := range g.out[n] {
+				if e.Target != nil && fact[e.Target] {
+					fact[n] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return fact
+}
+
+// returnExprsOf collects the result expressions of every return
+// statement belonging to the node's own body (nested literals have
+// their own returns and are excluded).
+func returnExprsOf(n *CGNode) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, s.Results...)
+		}
+		return true
+	})
+	return out
+}
+
+// FlowsFromInter is FlowsFrom extended across call boundaries: when the
+// backward chain reaches a call with an in-package body, the walk
+// continues into that callee's return expressions (and, for named
+// results, the definitions of the result variables). Each variable and
+// each callee body is visited at most once, keeping the walk linear
+// and cycle-safe. Argument expressions at the call site are already in
+// the syntactic producing set, so no parameter binding is needed for
+// the wrapper patterns this answers ("does this seed come from
+// time.Now through a helper?", "is this tensor arena-backed?").
+func (p *Pass) FlowsFromInter(fi *FuncInfo, root ast.Expr, pred func(n ast.Node) bool) bool {
+	g := p.CallGraph()
+	seenVars := map[*types.Var]bool{}
+	seenNodes := map[*CGNode]bool{}
+	found := false
+
+	var visit func(fi *FuncInfo, n ast.Node)
+	enterCall := func(call *ast.CallExpr) {
+		for _, e := range g.SiteEdges(call) {
+			t := e.Target
+			if t == nil || seenNodes[t] {
+				continue
+			}
+			seenNodes[t] = true
+			tfi := p.FuncInfoAt(t.Body().Pos())
+			if tfi == nil {
+				continue
+			}
+			for _, r := range returnExprsOf(t) {
+				visit(tfi, r)
+			}
+			if t.Fn != nil && t.Decl.Type.Results != nil {
+				for _, fld := range t.Decl.Type.Results.List {
+					for _, name := range fld.Names {
+						obj, ok := p.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						for _, d := range tfi.Defs[obj] {
+							if d.RHS != nil {
+								visit(tfi, d.RHS)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	visit = func(fi *FuncInfo, n ast.Node) {
+		if found || n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found || n == nil {
+				return false
+			}
+			if pred(n) {
+				found = true
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				enterCall(call)
+				if found {
+					return false
+				}
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, okUse := p.Info.Uses[id].(*types.Var)
+			if !okUse || !fi.isLocal(obj) || seenVars[obj] {
+				return true
+			}
+			seenVars[obj] = true
+			for _, d := range fi.Defs[obj] {
+				if found {
+					break
+				}
+				if d.Stmt != nil && pred(d.Stmt) {
+					found = true
+					break
+				}
+				if d.RHS != nil {
+					visit(fi, d.RHS)
+				}
+			}
+			return !found
+		})
+	}
+	visit(fi, root)
+	return found
+}
+
+// parentMap records each node's syntactic parent under root. Checkers
+// use it to classify how an occurrence is used (call argument, return
+// operand, store target) without threading a path through every walk.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadCallgraph loads the engine fixture and builds its call graph.
+func loadCallgraph(t *testing.T) (*Pass, *CallGraph) {
+	t.Helper()
+	loader, pkg := loadFixture(t, "callgraph")
+	pass := pkg.Pass(loader.Fset)
+	return pass, pass.CallGraph()
+}
+
+// declNode resolves a top-level function of the fixture to its node.
+func declNode(t *testing.T, p *Pass, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	fn, ok := p.Pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("fixture has no function %q", name)
+	}
+	n := g.DeclNode(fn)
+	if n == nil {
+		t.Fatalf("no call-graph node for %q", name)
+	}
+	return n
+}
+
+// calleeNames renders the resolved callees of a node, sorted.
+func calleeNames(g *CallGraph, n *CGNode) []string {
+	var out []string
+	for _, e := range g.EdgesFrom(n) {
+		if e.Unresolved {
+			out = append(out, "<unresolved>")
+			continue
+		}
+		if e.Callee != nil {
+			out = append(out, g.FuncName(e.Callee))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCallGraphEdgeResolution(t *testing.T) {
+	p, g := loadCallgraph(t)
+	cases := []struct {
+		fn      string
+		kind    EdgeKind
+		callees []string
+	}{
+		{"caller", EdgeDirect, []string{"helper"}},
+		{"callsMethod", EdgeMethod, []string{"thing.method"}},
+		{"callsInterface", EdgeInterface, []string{"english.greet", "terse.greet"}},
+		{"funcValue", EdgeFuncValue, []string{"helper"}},
+	}
+	for _, tc := range cases {
+		n := declNode(t, p, g, tc.fn)
+		got := calleeNames(g, n)
+		if strings.Join(got, ",") != strings.Join(tc.callees, ",") {
+			t.Errorf("%s: callees = %v, want %v", tc.fn, got, tc.callees)
+		}
+		for _, e := range g.EdgesFrom(n) {
+			if e.Kind != tc.kind {
+				t.Errorf("%s: edge kind = %d, want %d", tc.fn, e.Kind, tc.kind)
+			}
+			if e.Target == nil {
+				t.Errorf("%s: in-package callee has no target node", tc.fn)
+			}
+		}
+	}
+}
+
+func TestCallGraphUnresolved(t *testing.T) {
+	p, g := loadCallgraph(t)
+	n := declNode(t, p, g, "unresolved")
+	edges := g.EdgesFrom(n)
+	if len(edges) != 1 || !edges[0].Unresolved {
+		t.Fatalf("call through a func parameter: edges = %+v, want one unresolved edge", edges)
+	}
+}
+
+func TestCallGraphLaunches(t *testing.T) {
+	p, g := loadCallgraph(t)
+	launcher := declNode(t, p, g, "launches")
+	var plain, looped int
+	for _, l := range g.Launches {
+		if l.Node != launcher {
+			t.Errorf("launch attributed to %s, want launches", g.NodeName(l.Node))
+		}
+		if l.InLoop {
+			looped++
+		} else {
+			plain++
+		}
+	}
+	if plain != 1 || looped != 1 {
+		t.Errorf("launches: plain=%d looped=%d, want 1 and 1", plain, looped)
+	}
+}
+
+func TestCallGraphReachableAndPropagate(t *testing.T) {
+	p, g := loadCallgraph(t)
+	src := declNode(t, p, g, "source")
+	taint := declNode(t, p, g, "taintUser")
+	clean := declNode(t, p, g, "cleanUser")
+
+	reach := g.ReachableFrom(taint)
+	if !reach[src] {
+		t.Errorf("source not reachable from taintUser")
+	}
+	if reach[clean] {
+		t.Errorf("cleanUser wrongly reachable from taintUser")
+	}
+
+	fact := g.Propagate(func(n *CGNode) bool { return n == src })
+	for name, want := range map[string]bool{
+		"source": true, "wrap": true, "wrapNamed": true,
+		"taintUser": true, "namedUser": true,
+		"cleanUser": false, "helper": false,
+	} {
+		if got := fact[declNode(t, p, g, name)]; got != want {
+			t.Errorf("Propagate: fact[%s] = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestFlowsFromInter(t *testing.T) {
+	p, g := loadCallgraph(t)
+	sourceFn, _ := p.Pkg.Scope().Lookup("source").(*types.Func)
+	pred := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && p.Info.Uses[id] == types.Object(sourceFn)
+	}
+	for name, want := range map[string]bool{
+		"taintUser": true,  // through wrap's return expression
+		"namedUser": true,  // through wrapNamed's named-result definition
+		"cleanUser": false, // helper never touches source
+	} {
+		n := declNode(t, p, g, name)
+		rets := returnExprsOf(n)
+		if len(rets) == 0 {
+			t.Fatalf("%s: no return expressions", name)
+		}
+		fi := p.FuncInfoAt(n.Decl.Pos())
+		if fi == nil {
+			t.Fatalf("%s: no FuncInfo", name)
+		}
+		if got := p.FlowsFromInter(fi, rets[0], pred); got != want {
+			t.Errorf("FlowsFromInter(%s) = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// confinedPrefix marks a function whose contract is single-goroutine
+// confinement: //prionnvet:confined on the declaration's doc comment.
+// Inference.Predict (PR 5) is the motivating API — it reuses internal
+// scratch buffers and is only safe because exactly one goroutine (the
+// prionnd batching loop) ever calls it.
+const confinedPrefix = "prionnvet:confined"
+
+// ConfinedCall enforces //prionnvet:confined annotations: an annotated
+// function must not be reachable from more than one distinct
+// goroutine-launch site in a package, nor from a single launch inside a
+// loop (one go statement, many goroutines). Reachability is computed
+// over the interprocedural call graph, so the confinement contract is
+// checked through arbitrarily many wrapper layers.
+type ConfinedCall struct{}
+
+// Name implements Checker.
+func (ConfinedCall) Name() string { return "confined-call" }
+
+// Doc implements Checker.
+func (ConfinedCall) Doc() string {
+	return "//prionnvet:confined APIs must be reachable from at most one goroutine-launch site"
+}
+
+// Run implements Checker.
+func (ConfinedCall) Run(p *Pass) []Finding {
+	confined := map[*types.Func]bool{}
+	for fn := range p.Confined {
+		confined[fn] = true
+	}
+	// Annotations on this package's own declarations work even without a
+	// loader-populated registry (fixtures, direct Pass construction).
+	for fn := range scanConfinedFiles(p.Files, p.Info) {
+		confined[fn] = true
+	}
+	if len(confined) == 0 {
+		return nil
+	}
+
+	g := p.CallGraph()
+	perCallee := map[*types.Func][]Launch{}
+	for _, l := range g.Launches {
+		reached := map[*types.Func]bool{}
+		nodes := map[*CGNode]bool{}
+		for _, e := range g.SiteEdges(l.Go.Call) {
+			if e.Callee != nil && confined[e.Callee] {
+				reached[e.Callee] = true
+			}
+			if e.Target != nil {
+				for n := range g.ReachableFrom(e.Target) {
+					nodes[n] = true
+				}
+			}
+		}
+		for n := range nodes {
+			for _, e := range g.EdgesFrom(n) {
+				if e.Callee != nil && confined[e.Callee] {
+					reached[e.Callee] = true
+				}
+			}
+		}
+		for fn := range reached {
+			perCallee[fn] = append(perCallee[fn], l)
+		}
+	}
+
+	// Deterministic finding order despite map iteration: sort callees by
+	// name (RunAll re-sorts by position anyway).
+	callees := make([]*types.Func, 0, len(perCallee))
+	for fn := range perCallee {
+		callees = append(callees, fn)
+	}
+	sort.Slice(callees, func(i, j int) bool {
+		return g.FuncName(callees[i]) < g.FuncName(callees[j])
+	})
+
+	var out []Finding
+	for _, fn := range callees {
+		launches := perCallee[fn]
+		name := g.FuncName(fn)
+		switch {
+		case len(launches) > 1:
+			for _, l := range launches {
+				out = append(out, p.rangeFinding("confined-call", l.Go.Pos(), l.Go.Call.End(),
+					"confined function %s is reachable from %d distinct goroutine-launch sites (contract allows one); this launch is one of them", name, len(launches)))
+			}
+		case launches[0].InLoop:
+			l := launches[0]
+			out = append(out, p.rangeFinding("confined-call", l.Go.Pos(), l.Go.Call.End(),
+				"confined function %s is reachable from a goroutine launched in a loop; one site may spawn many goroutines", name))
+		}
+	}
+	return out
+}
+
+// scanConfinedFiles collects the //prionnvet:confined annotations on
+// function declarations in the given files. Both the loader (building
+// the cross-package registry in Pass.Confined) and the checker (for
+// standalone passes) use it.
+func scanConfinedFiles(files []*ast.File, info *types.Info) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(line, confinedPrefix) {
+					continue
+				}
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = true
+				}
+				break
+			}
+		}
+	}
+	return out
+}

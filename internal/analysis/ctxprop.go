@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPropagation flags functions that break an established context
+// chain. The CLI→experiments→sched plumbing added in PR 3 only delivers
+// cancellation if every hop forwards its ctx parameter; the two ways a
+// hop silently breaks the chain are (a) manufacturing a fresh context
+// via context.Background()/context.TODO() while already holding one,
+// and (b) calling a convenience wrapper that defaults to Background
+// internally (Run() instead of RunCtx(ctx)). Case (b) is inherently
+// interprocedural: the call graph propagates "defaults to Background"
+// bottom-up, stopping at any call edge that hands a context onward.
+type CtxPropagation struct{}
+
+// Name implements Checker.
+func (CtxPropagation) Name() string { return "ctx-propagation" }
+
+// Doc implements Checker.
+func (CtxPropagation) Doc() string {
+	return "function holding a ctx must not call context.Background/TODO or a callee that defaults to one"
+}
+
+// Run implements Checker.
+func (CtxPropagation) Run(p *Pass) []Finding {
+	g := p.CallGraph()
+
+	// manufactures[n]: executing n (with no context handed to it) creates
+	// a fresh context. Base: a direct Background/TODO call in the body.
+	// Propagation: calling a manufacturer without passing a ctx onward.
+	manufactures := map[*CGNode]bool{}
+	for _, n := range g.Nodes {
+		inspectOwn(n.Body(), func(x ast.Node) {
+			if call, ok := x.(*ast.CallExpr); ok && isCtxManufacture(p, call) {
+				manufactures[n] = true
+			}
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if manufactures[n] {
+				continue
+			}
+			for _, e := range g.EdgesFrom(n) {
+				if e.Target != nil && manufactures[e.Target] && !passesCtx(p, e.Site) {
+					manufactures[n] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	var out []Finding
+	for _, n := range g.Nodes {
+		sig := nodeSignature(p, n)
+		if sig == nil || !hasCtxParam(sig) {
+			continue
+		}
+		name := g.NodeName(n)
+		// (a) fresh context manufactured while holding one.
+		inspectOwn(n.Body(), func(x ast.Node) {
+			call, ok := x.(*ast.CallExpr)
+			if !ok || !isCtxManufacture(p, call) {
+				return
+			}
+			out = append(out, p.rangeFinding("ctx-propagation", call.Pos(), call.End(),
+				"%s receives a context but manufactures a fresh one here; thread the ctx parameter through instead", name))
+		})
+		// (b) ctx dropped into a callee that defaults to Background.
+		flaggedSite := map[*ast.CallExpr]bool{}
+		for _, e := range g.EdgesFrom(n) {
+			if e.Target == nil || !manufactures[e.Target] || passesCtx(p, e.Site) || flaggedSite[e.Site] {
+				continue
+			}
+			flaggedSite[e.Site] = true
+			callee := "the callee"
+			if e.Callee != nil {
+				callee = g.FuncName(e.Callee)
+			} else if e.Target.Lit != nil {
+				callee = g.NodeName(e.Target)
+			}
+			out = append(out, p.rangeFinding("ctx-propagation", e.Site.Pos(), e.Site.End(),
+				"%s holds a context but calls %s, which defaults to context.Background(); pass the ctx through a ctx-accepting variant", name, callee))
+		}
+	}
+	return out
+}
+
+// inspectOwn walks a function body without descending into nested
+// function literals — those are separate call-graph nodes with their
+// own facts.
+func inspectOwn(body *ast.BlockStmt, f func(ast.Node)) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			f(x)
+		}
+		return true
+	})
+}
+
+// nodeSignature returns the node's function signature (declaration or
+// literal), or nil when type information is missing.
+func nodeSignature(p *Pass, n *CGNode) *types.Signature {
+	if n.Fn != nil {
+		sig, _ := n.Fn.Type().(*types.Signature)
+		return sig
+	}
+	if tv, ok := p.Info.Types[n.Lit]; ok {
+		sig, _ := tv.Type.(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasCtxParam reports whether any parameter of sig is a context.Context.
+func hasCtxParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isCtxType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxManufacture reports a context.Background() or context.TODO() call.
+func isCtxManufacture(p *Pass, call *ast.CallExpr) bool {
+	pkg, name, ok := qualifiedCall(p.Info, call)
+	return ok && pkg == "context" && (name == "Background" || name == "TODO")
+}
+
+// passesCtx reports whether any argument of the call is context-typed —
+// the chain is intact through this edge.
+func passesCtx(p *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := p.Info.Types[arg]; ok && isCtxType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

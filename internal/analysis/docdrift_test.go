@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// checkerRowRe matches one row of the README checker table:
+// | `name` | doc line |
+var checkerRowRe = regexp.MustCompile("^\\| `([a-z-]+)` \\| (.+) \\|$")
+
+// TestReadmeCheckerTableMatchesRegistry pins the README checker table
+// to the registry: same checkers, same order, same doc lines. Adding,
+// renaming, or redocumenting a checker without updating README.md (or
+// vice versa) fails here, so the docs cannot drift from the code.
+func TestReadmeCheckerTableMatchesRegistry(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	text := string(data)
+
+	const begin = "<!-- prionnvet-checkers:begin -->"
+	const end = "<!-- prionnvet-checkers:end -->"
+	i := strings.Index(text, begin)
+	j := strings.Index(text, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md is missing the %s / %s markers", begin, end)
+	}
+
+	type row struct{ name, doc string }
+	var rows []row
+	for _, line := range strings.Split(text[i+len(begin):j], "\n") {
+		line = strings.TrimSpace(line)
+		if m := checkerRowRe.FindStringSubmatch(line); m != nil {
+			rows = append(rows, row{name: m[1], doc: m[2]})
+		}
+	}
+
+	all := All()
+	if len(rows) != len(all) {
+		var names []string
+		for _, r := range rows {
+			names = append(names, r.name)
+		}
+		t.Fatalf("README table has %d checker rows (%v), registry has %d",
+			len(rows), names, len(all))
+	}
+	for k, c := range all {
+		if rows[k].name != c.Name() {
+			t.Errorf("row %d: README says %q, registry says %q (order matters)",
+				k, rows[k].name, c.Name())
+			continue
+		}
+		if rows[k].doc != c.Doc() {
+			t.Errorf("%s: README doc %q != Doc() %q", c.Name(), rows[k].doc, c.Doc())
+		}
+	}
+}

@@ -21,11 +21,17 @@ type Package struct {
 	Files      []*ast.File
 	Pkg        *types.Package
 	Info       *types.Info
+	// Confined is the loader's shared //prionnvet:confined registry: it
+	// accumulates annotations from every package the loader has checked,
+	// so a pass over internal/serve sees annotations declared in
+	// internal/prionn (the loader type-checks module-internal imports
+	// itself, making *types.Func identities stable across packages).
+	Confined map[*types.Func]bool
 }
 
 // Pass returns the analysis pass view of the package.
 func (p *Package) Pass(fset *token.FileSet) *Pass {
-	return &Pass{Fset: fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info}
+	return &Pass{Fset: fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info, Confined: p.Confined}
 }
 
 // Loader parses and type-checks packages using only the standard
@@ -42,9 +48,10 @@ type Loader struct {
 	ModulePath string
 	ModuleRoot string
 
-	std    types.ImporterFrom
-	byPath map[string]*Package
-	byDir  map[string]*Package
+	std      types.ImporterFrom
+	byPath   map[string]*Package
+	byDir    map[string]*Package
+	confined map[*types.Func]bool
 }
 
 // NewLoader returns a loader rooted at moduleRoot. If moduleRoot
@@ -53,10 +60,11 @@ type Loader struct {
 func NewLoader(moduleRoot string) (*Loader, error) {
 	fset := token.NewFileSet()
 	l := &Loader{
-		Fset:   fset,
-		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		byPath: map[string]*Package{},
-		byDir:  map[string]*Package{},
+		Fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		byPath:   map[string]*Package{},
+		byDir:    map[string]*Package{},
+		confined: map[*types.Func]bool{},
 	}
 	if moduleRoot != "" {
 		abs, err := filepath.Abs(moduleRoot)
@@ -140,7 +148,10 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		delete(l.byDir, abs)
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", abs, err)
 	}
-	pkg := &Package{Dir: abs, ImportPath: importPath, Files: files, Pkg: tpkg, Info: info}
+	for fn := range scanConfinedFiles(files, info) {
+		l.confined[fn] = true
+	}
+	pkg := &Package{Dir: abs, ImportPath: importPath, Files: files, Pkg: tpkg, Info: info, Confined: l.confined}
 	l.byDir[abs] = pkg
 	l.byPath[importPath] = pkg
 	return pkg, nil

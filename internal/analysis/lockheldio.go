@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHeldIO flags mutex regions that span operations with unbounded
+// latency: file IO, time.Sleep, fault.Here failpoints (an injected
+// fault may sleep or panic while the lock is held), and channel
+// operations that can block. Every other goroutine contending for the
+// lock stalls behind the slow operation — the serve path's tail
+// latency and the checkpoint writer's deadlock hazard from PR 4/5.
+//
+// The lock region is computed positionally inside one function body:
+// from a Lock/RLock call to the first matching positional Unlock (or
+// to the end of the body when the unlock is deferred or absent).
+// Whether an operation blocks is answered interprocedurally: a call
+// into an in-package function inherits "performs file IO" facts
+// bottom-up through the call graph. Channel operations inside a select
+// that has a default case are exempt — that is the non-blocking idiom
+// the serve admission path uses deliberately.
+type LockHeldIO struct{}
+
+// Name implements Checker.
+func (LockHeldIO) Name() string { return "lock-held-io" }
+
+// Doc implements Checker.
+func (LockHeldIO) Doc() string {
+	return "mutex must not be held across file IO, sleeps, failpoints, or blocking channel ops"
+}
+
+// blockingOp is one potentially unbounded operation in a function body.
+type blockingOp struct {
+	pos, end token.Pos
+	why      string
+}
+
+// mutexOp is one Lock/RLock/Unlock/RUnlock call.
+type mutexOp struct {
+	call *ast.CallExpr
+	name string
+	key  string // receiver expression, e.g. "s.mu"
+}
+
+// Run implements Checker.
+func (LockHeldIO) Run(p *Pass) []Finding {
+	g := p.CallGraph()
+
+	// Per-node direct blocking operations, then the bottom-up "reaches a
+	// blocking operation" fact with its root cause.
+	opsByNode := map[*CGNode][]blockingOp{}
+	why := map[*CGNode]string{}
+	for _, n := range g.Nodes {
+		ops := blockingOpsIn(p, n.Body())
+		opsByNode[n] = ops
+		if len(ops) > 0 {
+			why[n] = ops[0].why
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if why[n] != "" {
+				continue
+			}
+			for _, e := range g.EdgesFrom(n) {
+				if e.Target != nil && why[e.Target] != "" {
+					why[n] = why[e.Target]
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Calls that only schedule work (go f(), defer f()) do not block the
+	// region they appear in.
+	asyncCalls := map[*ast.CallExpr]bool{}
+	for _, l := range g.Launches {
+		asyncCalls[l.Go.Call] = true
+	}
+
+	var out []Finding
+	for _, n := range g.Nodes {
+		var locks, unlocks []mutexOp
+		deferredCalls := map[*ast.CallExpr]bool{}
+		inspectOwn(n.Body(), func(x ast.Node) {
+			switch s := x.(type) {
+			case *ast.DeferStmt:
+				deferredCalls[s.Call] = true
+				asyncCalls[s.Call] = true
+			case *ast.CallExpr:
+				op, ok := mutexOpOf(p, s)
+				if !ok {
+					return
+				}
+				switch op.name {
+				case "Lock", "RLock":
+					locks = append(locks, op)
+				default:
+					if !deferredCalls[s] {
+						unlocks = append(unlocks, op)
+					}
+				}
+			}
+		})
+		for _, l := range locks {
+			uname := "Unlock"
+			if l.name == "RLock" {
+				uname = "RUnlock"
+			}
+			start, end := l.call.End(), n.Body().End()
+			for _, u := range unlocks {
+				if u.name == uname && u.key == l.key && u.call.Pos() > start && u.call.Pos() < end {
+					end = u.call.Pos()
+				}
+			}
+			for _, op := range opsByNode[n] {
+				if op.pos > start && op.pos < end {
+					out = append(out, p.rangeFinding("lock-held-io", op.pos, op.end,
+						"%s is held across %s; release the lock first", l.key, op.why))
+				}
+			}
+			flaggedSite := map[*ast.CallExpr]bool{}
+			for _, e := range g.EdgesFrom(n) {
+				site := e.Site
+				if site.Pos() <= start || site.Pos() >= end || asyncCalls[site] || flaggedSite[site] {
+					continue
+				}
+				if e.Target == nil || why[e.Target] == "" {
+					continue
+				}
+				flaggedSite[site] = true
+				callee := g.NodeName(e.Target)
+				if e.Callee != nil {
+					callee = g.FuncName(e.Callee)
+				}
+				out = append(out, p.rangeFinding("lock-held-io", site.Pos(), site.End(),
+					"%s is held across a call to %s, which reaches %s; release the lock first", l.key, callee, why[e.Target]))
+			}
+		}
+	}
+	return out
+}
+
+// blockingOpsIn scans one body (nested literals excluded — they are
+// their own call-graph nodes) for directly blocking operations.
+func blockingOpsIn(p *Pass, body *ast.BlockStmt) []blockingOp {
+	var ops []blockingOp
+	async := map[*ast.CallExpr]bool{}
+	var walk func(x ast.Node)
+	walk = func(x ast.Node) {
+		ast.Inspect(x, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				async[s.Call] = true
+			case *ast.DeferStmt:
+				async[s.Call] = true
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					ops = append(ops, blockingOp{s.Pos(), s.Body.Lbrace, "a select with no default case (may block)"})
+				}
+				// Clause bodies run after the (possibly non-blocking)
+				// selection; the comm statements themselves are accounted
+				// to the select above.
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, st := range cc.Body {
+							walk(st)
+						}
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				ops = append(ops, blockingOp{s.Pos(), s.End(), "a channel send (may block)"})
+			case *ast.UnaryExpr:
+				if s.Op == token.ARROW {
+					ops = append(ops, blockingOp{s.Pos(), s.End(), "a channel receive (may block)"})
+				}
+			case *ast.CallExpr:
+				if async[s] {
+					return true // go/defer: scheduled, not executed here
+				}
+				if why := blockingCallWhy(p, s); why != "" {
+					ops = append(ops, blockingOp{s.Pos(), s.End(), why})
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return ops
+}
+
+// blockingCallWhy classifies a direct call as a blocking operation, or
+// returns "".
+func blockingCallWhy(p *Pass, call *ast.CallExpr) string {
+	if pkg, name, ok := qualifiedCall(p.Info, call); ok {
+		switch {
+		case pkg == "os":
+			return "file IO (os." + name + ")"
+		case pkg == "time" && name == "Sleep":
+			return "time.Sleep"
+		case strings.HasSuffix(pkg, "internal/fault") && name == "Here":
+			return "a fault.Here failpoint (an injected fault may sleep or panic)"
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s, ok := p.Info.Selections[sel]; ok {
+			t := s.Recv()
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
+					return "file IO ((*os.File)." + sel.Sel.Name + ")"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// mutexOpOf recognizes sync.Mutex/RWMutex lock-state calls, including
+// through embedded mutexes. The key is the receiver expression text, so
+// s.mu.Lock() pairs with s.mu.Unlock().
+func mutexOpOf(p *Pass, call *ast.CallExpr) (mutexOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return mutexOp{}, false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return mutexOp{}, false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return mutexOp{}, false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return mutexOp{}, false
+	}
+	return mutexOp{call: call, name: name, key: types.ExprString(sel.X)}, true
+}

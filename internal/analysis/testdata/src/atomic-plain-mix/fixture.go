@@ -1,0 +1,45 @@
+// Package fixture exercises the atomic-plain-mix checker: a variable
+// accessed through sync/atomic must not also be touched plainly.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	safe int64
+}
+
+func (c *counter) record() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want "accessed atomically"
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want "accessed atomically"
+}
+
+func (c *counter) okAtomic() int64 {
+	atomic.AddInt64(&c.safe, 1)
+	return atomic.LoadInt64(&c.safe)
+}
+
+var total int64
+
+func bump() {
+	atomic.AddInt64(&total, 1)
+}
+
+func plainTotal() int64 {
+	return total // want "accessed atomically"
+}
+
+func init() {
+	total = 0 // ok: init runs single-threaded
+}
+
+func newCounter() *counter {
+	return &counter{hits: 0} // ok: construction before publication
+}

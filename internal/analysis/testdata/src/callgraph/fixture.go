@@ -1,0 +1,64 @@
+// Package fixture exercises the interprocedural engine itself
+// (callgraph_test.go pins edge resolution, launch sites, bottom-up
+// propagation, and cross-function taint). It is not a checker fixture.
+package fixture
+
+type greeter interface{ greet() string }
+
+type english struct{}
+
+func (english) greet() string { return "hello" }
+
+type terse struct{}
+
+func (terse) greet() string { return "hi" }
+
+func helper() int { return 1 }
+
+func caller() int { return helper() }
+
+type thing struct{ n int }
+
+func (t *thing) method() int { return t.n }
+
+func callsMethod(t *thing) int { return t.method() }
+
+func callsInterface(g greeter) string { return g.greet() }
+
+func funcValue() int {
+	f := helper
+	return f()
+}
+
+func unresolved(f func() int) int { return f() }
+
+func launches(done chan struct{}) {
+	go func() { close(done) }()
+	for i := 0; i < 3; i++ {
+		go helper()
+	}
+}
+
+func source() int { return 42 }
+
+func wrap() int { return source() }
+
+func wrapNamed() (n int) {
+	n = source()
+	return
+}
+
+func taintUser() int {
+	v := wrap()
+	return v + 1
+}
+
+func namedUser() int {
+	v := wrapNamed()
+	return v
+}
+
+func cleanUser() int {
+	v := helper()
+	return v
+}

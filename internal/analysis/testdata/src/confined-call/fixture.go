@@ -1,0 +1,64 @@
+// Package fixture exercises the confined-call checker: functions
+// annotated //prionnvet:confined must be reachable from at most one
+// goroutine-launch site, and never from a launch inside a loop.
+package fixture
+
+import "sync"
+
+type engine struct{ state int }
+
+// predict mutates shared scratch state.
+//
+//prionnvet:confined
+func (e *engine) predict(x int) int {
+	e.state++
+	return e.state + x
+}
+
+//prionnvet:confined
+func (e *engine) looped() int {
+	e.state++
+	return e.state
+}
+
+//prionnvet:confined
+func (e *engine) single() int {
+	e.state++
+	return e.state
+}
+
+// runPredict is a wrapper layer: reachability must see through it.
+func runPredict(e *engine) {
+	e.predict(1)
+}
+
+func twoLaunchers(e *engine, wg *sync.WaitGroup) {
+	wg.Add(2)
+	go func() { // want "2 distinct goroutine-launch sites"
+		defer wg.Done()
+		runPredict(e)
+	}()
+	go func() { // want "2 distinct goroutine-launch sites"
+		defer wg.Done()
+		e.predict(2)
+	}()
+	wg.Wait()
+}
+
+func loopLauncher(e *engine, wg *sync.WaitGroup, n int) {
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() { // want "launched in a loop"
+			defer wg.Done()
+			e.looped()
+		}()
+	}
+	wg.Wait()
+}
+
+func oneLauncher(e *engine, done chan struct{}) {
+	go func() { // ok: a single launch site honors the contract
+		e.single()
+		close(done)
+	}()
+}

@@ -1,0 +1,41 @@
+// Package fixture exercises the ctx-propagation checker: a function
+// holding a context must neither manufacture a fresh one nor call a
+// wrapper that defaults to one.
+package fixture
+
+import "context"
+
+func handler(ctx context.Context) error {
+	work(context.Background()) // want "manufactures a fresh one"
+	legacyRun()                // want "defaults to context.Background"
+	return workCtx(ctx)        // ok: chain intact
+}
+
+func handler2(ctx context.Context) {
+	_ = context.TODO() // want "manufactures a fresh one"
+	deepRun()          // want "defaults to context.Background"
+}
+
+// legacyRun has no ctx parameter of its own: manufacturing one here is
+// fine — only ctx-holding callers calling it break an existing chain.
+func legacyRun() {
+	work(context.Background())
+}
+
+// deepRun reaches Background two hops down: the fact propagates.
+func deepRun() {
+	legacyRun()
+}
+
+// forwarder hands its ctx onward at every call: clean.
+func forwarder(ctx context.Context) error {
+	work(ctx)
+	return workCtx(ctx)
+}
+
+func work(ctx context.Context) {}
+
+func workCtx(ctx context.Context) error {
+	_ = ctx.Err()
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package fixture exercises the ignore-reason meta-finding: a
+// suppression without " -- reason" still suppresses the named check
+// but is itself reported, and cannot be self-suppressed.
+package fixture
+
+func compare(a, b float64) bool {
+	return a == b //prionnvet:ignore float-eq
+}
+
+func alsoBad(a, b float64) bool {
+	return a == b //prionnvet:ignore float-eq -- exact sentinel comparison, set by the same code path
+}

@@ -1,0 +1,71 @@
+// Package fixture exercises the lock-held-io checker: mutexes held
+// across operations with unbounded latency.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+func (s *server) badIO(path string, data []byte) error {
+	s.mu.Lock()
+	err := os.WriteFile(path, data, 0o600) // want "os.WriteFile"
+	s.mu.Unlock()
+	return err
+}
+
+func (s *server) badSleep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+}
+
+func (s *server) badSend(v int) {
+	s.rw.RLock()
+	s.ch <- v // want "channel send"
+	s.rw.RUnlock()
+}
+
+func (s *server) badRecv() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive"
+}
+
+func (s *server) okSelectDefault(v int) bool {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select {
+	case s.ch <- v: // ok: non-blocking admission idiom
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *server) okOutside(path string, data []byte) error {
+	s.mu.Lock()
+	n := len(data)
+	s.mu.Unlock()
+	_ = n
+	return os.WriteFile(path, data, 0o600) // ok: lock already released
+}
+
+// save reaches file IO; callers holding a lock inherit the fact
+// through the call graph.
+func save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}
+
+func (s *server) badCall(path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return save(path, data) // want "reaches file IO"
+}

@@ -5,19 +5,19 @@ import "math/rand"
 var hits int
 
 func bump() {
-	hits++ //prionnvet:ignore mutable-pkg-var fixture: single-goroutine tool state
+	hits++ //prionnvet:ignore mutable-pkg-var -- fixture: single-goroutine tool state
 }
 
 func roll() int {
-	//prionnvet:ignore unseeded-rand fixture: standalone directive covers the next line
+	//prionnvet:ignore unseeded-rand -- fixture: standalone directive covers the next line
 	return rand.Intn(6)
 }
 
 func compare(a, b float64) bool {
-	return a == b //prionnvet:ignore all fixture: blanket suppression
+	return a == b //prionnvet:ignore all -- fixture: blanket suppression
 }
 
 func multi(f func() error) {
-	//prionnvet:ignore unchecked-err,naked-goroutine fixture: comma-separated list
+	//prionnvet:ignore unchecked-err,naked-goroutine -- fixture: comma-separated list
 	go f()
 }

@@ -60,13 +60,13 @@ func Fig3(o Options) (Result, error) {
 		start := time.Now()
 		mapping.MapBatch(scripts, tr, o.Cfg.Rows, o.Cfg.Cols)
 		sec := time.Since(start).Seconds()
-		//prionnvet:ignore time-dep Fig. 3 reports transform wall time by design
+		//prionnvet:ignore time-dep -- Fig. 3 reports transform wall time by design
 		timings = append(timings, timing{tr.Name(), sec})
 		shape := "cheap (<3s at paper scale)"
 		if tr.Name() == "one-hot" {
 			shape = "slowest transform"
 		}
-		//prionnvet:ignore time-dep Fig. 3 reports transform wall time by design
+		//prionnvet:ignore time-dep -- Fig. 3 reports transform wall time by design
 		res.Rows = append(res.Rows, []string{
 			tr.Name(), fmt.Sprint(tr.Channels()), fmt.Sprintf("%.4f", sec), shape,
 		})
@@ -130,7 +130,7 @@ func Fig4(o Options) (Result, error) {
 		if tk == prionn.TransformOneHot {
 			shape = "most training time"
 		}
-		//prionnvet:ignore time-dep Fig. 4 reports training wall time by design
+		//prionnvet:ignore time-dep -- Fig. 4 reports training wall time by design
 		res.Rows = append(res.Rows, []string{string(tk), fmt.Sprintf("%.2f", sec), shape})
 		o.progress("fig4: trained %s in %.2fs", tk, sec)
 	}
@@ -208,7 +208,7 @@ func Fig6(o Options) (Result, error) {
 		if _, err := p.Train(window); err != nil {
 			return Result{}, err
 		}
-		//prionnvet:ignore time-dep Fig. 6 compares model training wall time by design
+		//prionnvet:ignore time-dep -- Fig. 6 compares model training wall time by design
 		secs[mk] = time.Since(start).Seconds()
 		shape := map[prionn.ModelKind]string{
 			prionn.ModelNN:    "slowest in paper",
@@ -441,7 +441,7 @@ func WindowAblation(o Options) (Result, error) {
 		elapsed := time.Since(start).Seconds()
 		events := float64(len(jobs)) / float64(cfg.RetrainEvery)
 		s := metrics.Summarize(o.runtimeAccuracies(preds, nil))
-		//prionnvet:ignore time-dep ablation reports retrain cost in wall time by design
+		//prionnvet:ignore time-dep -- ablation reports retrain cost in wall time by design
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprint(w), fmtPct(s.Mean), fmtPct(s.Median), fmt.Sprintf("%.2f", elapsed/events),
 		})

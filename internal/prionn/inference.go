@@ -130,6 +130,8 @@ func (v *Inference) MapTexts(texts []string) *tensor.Tensor {
 // PredictMapped runs the classifier forward passes over an
 // already-mapped batch (the forward stage of a prediction) and decodes
 // the argmax classes through the bins.
+//
+//prionnvet:confined
 func (v *Inference) PredictMapped(x *tensor.Tensor) []Prediction {
 	n := x.Dim(0)
 	out := make([]Prediction, n)
@@ -155,6 +157,8 @@ func (v *Inference) PredictMapped(x *tensor.Tensor) []Prediction {
 // Predict returns predictions for a batch of job scripts: MapTexts
 // followed by PredictMapped. See the type comment for the concurrency
 // contract and Trained for the untrained-weights contract.
+//
+//prionnvet:confined
 func (v *Inference) Predict(scripts []string) []Prediction {
 	if len(scripts) == 0 {
 		return nil
@@ -163,6 +167,8 @@ func (v *Inference) Predict(scripts []string) []Prediction {
 }
 
 // PredictOne returns the prediction for a single job script.
+//
+//prionnvet:confined
 func (v *Inference) PredictOne(script string) Prediction {
 	return v.Predict([]string{script})[0]
 }

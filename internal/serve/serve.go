@@ -147,7 +147,7 @@ func New(view *prionn.Inference, cfg Config) *Server {
 	if view != nil {
 		s.view.Store(view)
 	}
-	//prionnvet:ignore naked-goroutine joined via s.loopDone, closed by loop and received in Stop
+	//prionnvet:ignore naked-goroutine -- joined via s.loopDone, closed by loop and received in Stop
 	go s.loop()
 	return s
 }
@@ -251,7 +251,7 @@ func (s *Server) loop() {
 		timer.Reset(s.cfg.MaxDelay)
 	collect:
 		for len(batch) < s.cfg.MaxBatch {
-			//prionnvet:ignore nondet-select batch composition is timing-dependent by design; per-request responses are batch-invariant (bitwise), so coalescing order never changes any output
+			//prionnvet:ignore nondet-select -- batch composition is timing-dependent by design; per-request responses are batch-invariant (bitwise), so coalescing order never changes any output
 			select {
 			case p, ok := <-s.queue:
 				if !ok {
@@ -312,14 +312,14 @@ func (s *Server) flush(batch []*pending) {
 	for i, p := range batch {
 		texts[i] = v.InputText(p.req.Script, p.req.InputDeck)
 	}
-	//prionnvet:ignore time-dep serving latency counters are wall-clock metrics by design
+	//prionnvet:ignore time-dep -- serving latency counters are wall-clock metrics by design
 	t0 := time.Now()
 	x := v.MapTexts(texts)
-	//prionnvet:ignore time-dep serving latency counters are wall-clock metrics by design
+	//prionnvet:ignore time-dep -- serving latency counters are wall-clock metrics by design
 	mapDur := time.Since(t0)
 	t1 := time.Now()
 	preds := v.PredictMapped(x)
-	//prionnvet:ignore time-dep serving latency counters are wall-clock metrics by design
+	//prionnvet:ignore time-dep -- serving latency counters are wall-clock metrics by design
 	forwardDur := time.Since(t1)
 
 	s.st.served.Add(int64(len(batch)))

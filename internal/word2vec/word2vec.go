@@ -224,7 +224,7 @@ func (e *Embedding) Similarity(a, b byte) float64 {
 		na += float64(va[d]) * float64(va[d])
 		nb += float64(vb[d]) * float64(vb[d])
 	}
-	if na == 0 || nb == 0 { //prionnvet:ignore float-eq exact zero norm (all-zero vector) is the only undefined cosine input
+	if na == 0 || nb == 0 { //prionnvet:ignore float-eq -- exact zero norm (all-zero vector) is the only undefined cosine input
 		return 0
 	}
 	return dot / math.Sqrt(na*nb)
