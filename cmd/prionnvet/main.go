@@ -9,8 +9,11 @@
 // the interprocedural concurrency/resource checks built on the package
 // call graph: broken context chains, leaked arena buffers, mutexes
 // held across blocking operations, violated //prionnvet:confined
-// contracts, and mixed atomic/plain access. The checkers share an
-// SSA-lite def-use index and a memoized call graph; see DESIGN.md §6.
+// contracts, mixed atomic/plain access, inconsistently guarded fields,
+// lock-order deadlock cycles, goroutines that can never terminate, and
+// WaitGroup protocol violations. The checkers share an SSA-lite
+// def-use index, a memoized call graph, and a lockset engine; see
+// DESIGN.md §6.
 //
 // Usage:
 //
@@ -26,11 +29,14 @@
 // reported as an ignore-reason meta-finding. Exit status: 0 clean,
 // 1 findings, 2 usage or load errors.
 //
-// With -json, findings are emitted as a sorted JSON array whose element
-// schema is documented in README.md (check, doc, message, file, line,
-// col, offset, endLine, endCol, endOffset); the order is stable across
-// runs (file, line, col, check), so outputs are diffable across
-// commits.
+// With -json, the output is a versioned envelope (schemaVersion 2):
+// {"schemaVersion": 2, "findings": [...]} where each finding carries
+// check, doc, message, file, line, col, offset, endLine, endCol,
+// endOffset, and — for interprocedural findings — a "why" array of
+// derivation steps (e.g. the lock acquisitions forming an order
+// cycle). Findings are sorted (file, line, col, check), so outputs are
+// diffable across commits. In text mode the why steps render as
+// indented "why:" lines under the finding.
 package main
 
 import (
@@ -141,10 +147,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []analysis.Finding{}
-		}
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(analysis.NewReport(findings)); err != nil {
 			_, _ = fmt.Fprintf(stderr, "prionnvet: %v\n", err)
 			return 2
 		}
@@ -153,6 +156,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if _, err := fmt.Fprintln(stdout, f.String()); err != nil {
 				_, _ = fmt.Fprintf(stderr, "prionnvet: %v\n", err)
 				return 2
+			}
+			// Interprocedural findings carry their derivation: render the
+			// acquisition chain as indented why-steps under the line.
+			for _, step := range f.Why {
+				if _, err := fmt.Fprintf(stdout, "\twhy: %s\n", step); err != nil {
+					_, _ = fmt.Fprintf(stderr, "prionnvet: %v\n", err)
+					return 2
+				}
 			}
 		}
 	}

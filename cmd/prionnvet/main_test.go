@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -67,10 +68,20 @@ func TestFindingsExitOne(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb)
 	}
-	if !strings.Contains(out, "float-eq") || !strings.Contains(out, "unseeded-rand") {
-		t.Errorf("stdout missing expected findings:\n%s", out)
+	// The dirty fixture is the registry's living proof: every registered
+	// checker must fire at least once, so a checker that silently stops
+	// firing (or a fixture edit that defuses a trigger) fails here.
+	for _, c := range analysis.All() {
+		if !strings.Contains(out, c.Name()+":") {
+			t.Errorf("stdout has no %s finding:\n%s", c.Name(), out)
+		}
 	}
-	if !strings.Contains(errb, "2 finding(s)") {
+	// Interprocedural findings render their derivation as indented
+	// why-steps (the dirty lock-order cycle has a two-step chain).
+	if !strings.Contains(out, "\twhy: ") {
+		t.Errorf("stdout missing why-step rendering:\n%s", out)
+	}
+	if !regexp.MustCompile(`\d+ finding\(s\)`).MatchString(errb) {
 		t.Errorf("stderr = %q, want finding count summary", errb)
 	}
 }
@@ -93,15 +104,21 @@ func TestJSONShape(t *testing.T) {
 	if errb != "" {
 		t.Errorf("-json must keep stderr clean for piping, got %q", errb)
 	}
-	var findings []analysis.Finding
-	if err := json.Unmarshal([]byte(out), &findings); err != nil {
-		t.Fatalf("output is not a JSON finding array: %v\n%s", err, out)
+	var report analysis.Report
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("output is not a JSON report envelope: %v\n%s", err, out)
 	}
-	if len(findings) != 2 {
-		t.Fatalf("got %d findings, want 2: %+v", len(findings), findings)
+	if report.SchemaVersion != analysis.SchemaVersion {
+		t.Fatalf("schemaVersion = %d, want %d", report.SchemaVersion, analysis.SchemaVersion)
 	}
+	findings := report.Findings
+	if len(findings) < len(analysis.All()) {
+		t.Fatalf("got %d findings, want at least one per checker (%d)", len(findings), len(analysis.All()))
+	}
+	seen := map[string]bool{}
 	wantFile := filepath.Join("cmd", "prionnvet", "testdata", "dirty", "dirty.go")
 	for i, f := range findings {
+		seen[f.Check] = true
 		if f.File != wantFile {
 			t.Errorf("finding %d file = %q, want module-relative %q", i, f.File, wantFile)
 		}
@@ -116,22 +133,50 @@ func TestJSONShape(t *testing.T) {
 		if f.EndLine < f.Line || f.EndLine <= 0 || f.EndCol <= 0 {
 			t.Errorf("finding %d has bad end position: %+v", i, f)
 		}
+		// Findings must be sorted (file, line, col, check) so JSON output
+		// is diffable across commits.
+		if i > 0 {
+			p := findings[i-1]
+			if p.Line > f.Line || (p.Line == f.Line && p.Col > f.Col) ||
+				(p.Line == f.Line && p.Col == f.Col && p.Check > f.Check) {
+				t.Errorf("findings %d..%d out of order: %s:%d:%d then %s:%d:%d",
+					i-1, i, p.Check, p.Line, p.Col, f.Check, f.Line, f.Col)
+			}
+		}
 	}
-	if findings[0].Check != "float-eq" || findings[1].Check != "unseeded-rand" {
-		t.Errorf("findings not sorted by position: %s then %s", findings[0].Check, findings[1].Check)
+	for _, c := range analysis.All() {
+		if !seen[c.Name()] {
+			t.Errorf("no %s finding in JSON output", c.Name())
+		}
 	}
-	if findings[0].Line >= findings[1].Line {
-		t.Errorf("findings out of line order: %d then %d", findings[0].Line, findings[1].Line)
+	// The lock-order cycle carries its acquisition chain in the why field.
+	cycle := false
+	for _, f := range findings {
+		if f.Check == "lock-order-cycle" && len(f.Why) >= 2 {
+			cycle = true
+		}
+	}
+	if !cycle {
+		t.Error("lock-order-cycle finding is missing its why chain")
 	}
 }
 
-func TestJSONCleanEmitsEmptyArray(t *testing.T) {
+func TestJSONCleanEmitsEmptyFindings(t *testing.T) {
 	code, out, _ := runCLI(t, "-json", "testdata/clean")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	if got := strings.TrimSpace(out); got != "[]" {
-		t.Errorf("clean -json output = %q, want [] (not null)", got)
+	var report analysis.Report
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("clean -json output is not a report envelope: %v\n%s", err, out)
+	}
+	if report.SchemaVersion != analysis.SchemaVersion {
+		t.Errorf("schemaVersion = %d, want %d", report.SchemaVersion, analysis.SchemaVersion)
+	}
+	// The findings array must serialize as [], not null, so downstream
+	// jq pipelines never see a null.
+	if !strings.Contains(out, `"findings": []`) {
+		t.Errorf("clean -json output = %q, want empty findings array (not null)", out)
 	}
 }
 

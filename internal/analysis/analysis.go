@@ -44,11 +44,40 @@ type Finding struct {
 	EndLine   int    `json:"endLine"`
 	EndCol    int    `json:"endCol"`
 	EndOffset int    `json:"endOffset"`
+	// Why carries the step-by-step derivation of interprocedural
+	// findings — the lock-order-cycle acquisition chain, one
+	// human-readable step per element. The CLI renders the steps as
+	// indented "why:" lines under the finding; -json emits them as an
+	// array (schemaVersion 2).
+	Why []string `json:"why,omitempty"`
 }
 
 // String renders a finding in the conventional file:line:col form.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// SchemaVersion is the version of the machine-readable report shape.
+// Version 1 was a bare sorted array of findings; version 2 wraps the
+// array in a Report envelope and adds the per-finding "why" chain
+// (lock-order-cycle acquisition steps). Consumers should reject
+// versions they do not know.
+const SchemaVersion = 2
+
+// Report is the -json envelope: the schema version stamp plus the
+// sorted findings. Findings is never null — an empty run serializes as
+// an empty array, keeping `jq '.findings | length'` total.
+type Report struct {
+	SchemaVersion int       `json:"schemaVersion"`
+	Findings      []Finding `json:"findings"`
+}
+
+// NewReport wraps findings in the current-version envelope.
+func NewReport(findings []Finding) Report {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	return Report{SchemaVersion: SchemaVersion, Findings: findings}
 }
 
 // Pass bundles everything a checker needs about one type-checked package.
@@ -69,6 +98,8 @@ type Pass struct {
 	funcs []*FuncInfo
 	// cg memoizes the interprocedural call graph (see CallGraph).
 	cg *CallGraph
+	// lf memoizes the lockset analysis (see LockFacts).
+	lf *LockFacts
 }
 
 func (p *Pass) finding(check string, pos token.Pos, format string, args ...any) Finding {
@@ -125,6 +156,10 @@ func All() []Checker {
 		LockHeldIO{},
 		ConfinedCall{},
 		AtomicPlainMix{},
+		GuardedField{},
+		LockOrderCycle{},
+		GoroutineLifecycle{},
+		WaitGroupMisuse{},
 	}
 }
 
@@ -187,9 +222,29 @@ func RunAll(p *Pass, checkers []Checker) []Finding {
 		if out[i].Col != out[j].Col {
 			return out[i].Col < out[j].Col
 		}
-		return out[i].Check < out[j].Check
+		if out[i].Check != out[j].Check {
+			return out[i].Check < out[j].Check
+		}
+		return out[i].Message < out[j].Message
 	})
-	return out
+	// One finding per (position, check): several rules of one checker —
+	// or interface fan-out visiting one call site repeatedly — may
+	// derive the same diagnostic at the same spot (a launch flagged by
+	// two lifecycle proofs, say). Distinct checks at one position are
+	// all real; duplicates of one check are noise. The slice is sorted,
+	// so duplicates are adjacent and the first (lexically smallest
+	// message) witness is kept.
+	dedup := out[:0]
+	for _, f := range out {
+		if n := len(dedup); n > 0 {
+			prev := dedup[n-1]
+			if prev.File == f.File && prev.Line == f.Line && prev.Col == f.Col && prev.Check == f.Check {
+				continue
+			}
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup
 }
 
 // ignorePrefix is the suppression marker. The directive form is

@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GuardedField flags inconsistently guarded struct fields: a field of
+// an in-package struct that owns a mutex, accessed under that (or any)
+// lock in one place and with a provably empty lockset in another,
+// where the two accesses are reachable from distinct concurrency
+// origins (two different goroutine-launch sites, or a launch site and
+// plain non-goroutine code). That is the classic lockset-race
+// signature: the guarded access documents the author's intent that the
+// field is shared, and the unguarded one can interleave with it on a
+// schedule `go test -race` may never take.
+//
+// Precision filters keep this conservative: only fields reached
+// through a receiver, parameter, package-level variable, or a local
+// that is visibly captured by a goroutine count (a struct built and
+// used locally cannot race); mutex/sync-typed fields are skipped (the
+// lock itself is touched unlocked by design); accesses in init are
+// pre-publication; at least one side of the pair must be a write; and
+// the lockset is the engine's must-hold set, so a helper only ever
+// called under the lock inherits the guard through the entry-lockset
+// fixpoint instead of being misreported.
+type GuardedField struct{}
+
+// Name implements Checker.
+func (GuardedField) Name() string { return "guarded-field" }
+
+// Doc implements Checker.
+func (GuardedField) Doc() string {
+	return "field guarded by a mutex in one function must not be accessed lock-free in a concurrent one"
+}
+
+// fieldAccess is one read or write of a guardable struct field.
+type fieldAccess struct {
+	sel   *ast.SelectorExpr
+	node  *CGNode
+	write bool
+	held  map[string]bool
+}
+
+// Run implements Checker.
+func (c GuardedField) Run(p *Pass) []Finding {
+	g := p.CallGraph()
+	lf := p.LockFacts()
+
+	owners := mutexOwningStructs(p)
+	if len(owners) == 0 {
+		return nil
+	}
+
+	// Locals captured by a goroutine launch (the value escapes into
+	// concurrent code, so accesses through them can race).
+	sharedLocal := map[*types.Var]bool{}
+	for _, l := range g.Launches {
+		ast.Inspect(l.Go, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				if v, ok := p.Info.Uses[id].(*types.Var); ok && !v.IsField() {
+					sharedLocal[v] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Collect accesses per canonical field key "Type.field".
+	accesses := map[string][]fieldAccess{}
+	var keys []string
+	for _, n := range g.Nodes {
+		if n.Fn != nil && n.Fn.Name() == "init" {
+			continue // pre-publication writes cannot race
+		}
+		parents := parentMap(n.Body())
+		inspectOwn(n.Body(), func(x ast.Node) {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			s, ok := p.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return
+			}
+			owner := namedRecvType(s.Recv())
+			if owner == nil || !owners[owner.Obj()] {
+				return
+			}
+			field, _ := s.Obj().(*types.Var)
+			if field == nil || isSyncGuardType(field.Type()) {
+				return
+			}
+			if !sharedBase(p, sel.X, sharedLocal) {
+				return
+			}
+			write, skip := accessMode(p, parents, sel)
+			if skip {
+				return
+			}
+			key := owner.Obj().Name() + "." + field.Name()
+			if _, seen := accesses[key]; !seen {
+				keys = append(keys, key)
+			}
+			accesses[key] = append(accesses[key], fieldAccess{
+				sel:   sel,
+				node:  n,
+				write: write,
+				held:  lf.HeldAt(n, sel.Pos()),
+			})
+		})
+	}
+
+	origins := concurrencyOrigins(g)
+
+	sort.Strings(keys)
+	var out []Finding
+	for _, key := range keys {
+		var guarded, unguarded []fieldAccess
+		for _, a := range accesses[key] {
+			if len(a.held) > 0 {
+				guarded = append(guarded, a)
+			} else {
+				unguarded = append(unguarded, a)
+			}
+		}
+		if len(guarded) == 0 || len(unguarded) == 0 {
+			continue
+		}
+		flagged := map[token.Pos]bool{}
+		for _, u := range unguarded {
+			for _, ga := range guarded {
+				if !u.write && !ga.write {
+					continue // read/read cannot race
+				}
+				if !distinctOrigins(origins[u.node], origins[ga.node]) {
+					continue
+				}
+				if flagged[u.sel.Pos()] {
+					break
+				}
+				flagged[u.sel.Pos()] = true
+				guardName := lf.Display(sortedKeys(ga.held)[0])
+				out = append(out, p.rangeFinding(c.Name(), u.sel.Pos(), u.sel.End(),
+					"field %s is guarded by %s at %s but accessed here with no lock held; the two accesses are reachable from different goroutines",
+					key, guardName, lf.shortPos(ga.sel.Pos())))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// mutexOwningStructs returns the package's named struct types that
+// declare or embed a sync.Mutex/RWMutex — the only structs whose
+// fields carry a guard convention worth enforcing.
+func mutexOwningStructs(p *Pass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isMutexType(st.Field(i).Type()) {
+				out[tn] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// isMutexType reports sync.Mutex or sync.RWMutex (not behind a
+// pointer: an embedded or declared field).
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isSyncGuardType reports types from sync/sync/atomic — fields that
+// are themselves synchronization primitives are accessed lock-free by
+// design.
+func isSyncGuardType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sync" || path == "sync/atomic"
+}
+
+// namedRecvType unwraps a selection receiver to its named type.
+func namedRecvType(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// sharedBase reports whether the base expression of a field selector
+// can name shared state: its root identifier is a receiver/parameter,
+// a package-level variable, or a local captured by a goroutine launch.
+// Locally built values (constructors) cannot race and are excluded.
+func sharedBase(p *Pass, base ast.Expr, sharedLocal map[*types.Var]bool) bool {
+	for {
+		switch x := ast.Unparen(base).(type) {
+		case *ast.SelectorExpr:
+			base = x.X
+		case *ast.IndexExpr:
+			base = x.X
+		case *ast.StarExpr:
+			base = x.X
+		case *ast.Ident:
+			v, ok := p.Info.Uses[x].(*types.Var)
+			if !ok {
+				return false
+			}
+			if v.Parent() == p.Pkg.Scope() || sharedLocal[v] {
+				return true
+			}
+			fi := p.FuncInfoAt(x.Pos())
+			return fi != nil && fi.ParamObjs[v]
+		default:
+			return false
+		}
+	}
+}
+
+// accessMode classifies one field occurrence: write (assignment
+// target, ++/--, compound assign, address taken) or read. Addresses
+// handed straight to a call are skipped — that is an escape
+// (atomic-plain-mix and arena-leak territory), not a plain access.
+func accessMode(p *Pass, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) (write, skip bool) {
+	switch par := parents[sel].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range par.Lhs {
+			if lhs == sel {
+				return true, false
+			}
+		}
+	case *ast.IncDecStmt:
+		if par.X == sel {
+			return true, false
+		}
+	case *ast.UnaryExpr:
+		if par.Op == token.AND {
+			if call, ok := parents[par].(*ast.CallExpr); ok {
+				for _, arg := range call.Args {
+					if arg == par {
+						return false, true
+					}
+				}
+			}
+			return true, false
+		}
+	case *ast.SelectorExpr:
+		// s.field.Method(): the field is the receiver, a read.
+	}
+	return false, false
+}
+
+// concurrencyOrigins labels every node with the concurrency contexts
+// that can execute it: one origin per goroutine-launch site whose
+// launched body reaches the node, plus origin -1 ("plain code") for
+// nodes reachable from a non-launched entry point without crossing a
+// go statement. Two accesses race only if their origin sets contain
+// two distinct origins.
+func concurrencyOrigins(g *CallGraph) map[*CGNode]map[int]bool {
+	origins := map[*CGNode]map[int]bool{}
+	mark := func(n *CGNode, o int) {
+		if origins[n] == nil {
+			origins[n] = map[int]bool{}
+		}
+		origins[n][o] = true
+	}
+	launchSite := map[*ast.CallExpr]bool{}
+	launchedBody := map[*CGNode]bool{}
+	for _, l := range g.Launches {
+		launchSite[l.Go.Call] = true
+		for _, e := range g.SiteEdges(l.Go.Call) {
+			if e.Target != nil {
+				launchedBody[e.Target] = true
+			}
+		}
+	}
+	// bfs walks forward through non-launch edges.
+	bfs := func(start *CGNode, o int) {
+		seen := map[*CGNode]bool{start: true}
+		work := []*CGNode{start}
+		for len(work) > 0 {
+			n := work[len(work)-1]
+			work = work[:len(work)-1]
+			mark(n, o)
+			for _, e := range g.EdgesFrom(n) {
+				if e.Target == nil || launchSite[e.Site] || seen[e.Target] {
+					continue
+				}
+				seen[e.Target] = true
+				work = append(work, e.Target)
+			}
+		}
+	}
+	for i, l := range g.Launches {
+		for _, e := range g.SiteEdges(l.Go.Call) {
+			if e.Target != nil {
+				bfs(e.Target, i)
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if !launchedBody[n] && n.Lit == nil {
+			// Any declared, non-launched function is a potential entry
+			// from plain (or external) code.
+			bfs(n, -1)
+		}
+	}
+	return origins
+}
+
+// distinctOrigins reports whether the two origin sets contain two
+// different origins — the accesses can execute on two goroutines.
+func distinctOrigins(a, b map[int]bool) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	for x := range a {
+		for y := range b {
+			if x != y {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,528 @@
+package analysis
+
+// Goroutine lifecycle analysis: the second half of the concurrency
+// layer. Where lockset.go answers "what is held?", this file answers
+// "does this goroutine ever finish, and can its join deadlock?". Two
+// checkers share the machinery: GoroutineLifecycle proves a launched
+// body can block forever (a for/select daemon with no termination
+// case, or a send/receive on a spawner-local unbuffered channel with
+// no counterpart anywhere in the package), and WaitGroupMisuse pins
+// the three WaitGroup protocols the serve/experiments fan-outs rely
+// on — Add before launch, Done on every exit path, Wait not under a
+// lock the workers need.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLifecycle flags goroutine launches whose body can block
+// forever — a leak at best (the goroutine and everything it captures
+// never die) and a shutdown hang at worst. Two proofs are attempted:
+//
+//  1. The body runs `for { select { ... } }` where no clause can
+//     terminate it: no ctx.Done()/stop-channel receive, no return or
+//     break, no default. Such a daemon outlives every request and
+//     server shutdown.
+//  2. The body sends on or receives from an unbuffered channel local
+//     to the spawner, and no counterpart operation (receive/range for
+//     a send; send/close for a receive) exists anywhere in the
+//     package outside the goroutine itself. The channel cannot escape
+//     (locals only, no call arguments), so no counterpart can exist
+//     at runtime either: the goroutine parks on the channel forever.
+type GoroutineLifecycle struct{}
+
+// Name implements Checker.
+func (GoroutineLifecycle) Name() string { return "goroutine-lifecycle" }
+
+// Doc implements Checker.
+func (GoroutineLifecycle) Doc() string {
+	return "launched goroutine must have a termination path: no for/select daemons without a stop case, no channel ops with no counterpart"
+}
+
+// Run implements Checker.
+func (c GoroutineLifecycle) Run(p *Pass) []Finding {
+	g := p.CallGraph()
+	var out []Finding
+	flagged := map[token.Pos]bool{}
+	flag := func(l Launch, format string, args ...any) {
+		if flagged[l.Go.Pos()] {
+			return
+		}
+		flagged[l.Go.Pos()] = true
+		out = append(out, p.rangeFinding(c.Name(), l.Go.Pos(), l.Go.Call.End(), format, args...))
+	}
+	for _, l := range g.Launches {
+		for _, e := range g.SiteEdges(l.Go.Call) {
+			if e.Target == nil {
+				continue
+			}
+			body := e.Target.Body()
+			if loop := endlessSelectLoop(p, body); loop != nil {
+				flag(l, "goroutine runs a for/select loop with no termination case (no ctx.Done(), stop channel, return, or break): it can never exit; add a done case")
+				continue
+			}
+			if op, ch := orphanedChanOp(p, g, e.Target, l); op != "" {
+				flag(l, "goroutine blocks forever: it %s unbuffered channel %s and no %s exists anywhere; the goroutine (and all it captures) leaks",
+					op, ch, counterpartName(op))
+			}
+		}
+	}
+	return out
+}
+
+// endlessSelectLoop finds a `for { select { ... } }` in the body (own
+// statements only) where no select clause can end the loop: every
+// clause lacks return/break, none receives from ctx.Done() or a
+// struct{} stop channel, and there is no default (a default busy-loop
+// is at least observable; the blocking daemon is the silent leak).
+func endlessSelectLoop(p *Pass, body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	inspectOwn(body, func(x ast.Node) {
+		loop, ok := x.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || found != nil {
+			return
+		}
+		ast.Inspect(loop.Body, func(y ast.Node) bool {
+			if _, isLit := y.(*ast.FuncLit); isLit {
+				return false
+			}
+			sel, ok := y.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			escapable := false
+			for _, cl := range sel.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil || isStopCase(p, cc.Comm) || clauseExits(cc) {
+					escapable = true
+					break
+				}
+			}
+			if !escapable {
+				found = loop
+			}
+			return false
+		})
+	})
+	return found
+}
+
+// isStopCase reports whether a select comm statement is the shutdown
+// idiom: a receive from ctx.Done() (any method named Done returning a
+// channel) or from a channel of struct{} element type (the stop/quit
+// channel convention).
+func isStopCase(p *Pass, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv = s.Rhs[0]
+		}
+	}
+	un, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	src := ast.Unparen(un.X)
+	if call, ok := src.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	if srcT := p.Info.TypeOf(src); srcT != nil {
+		if t, ok := srcT.Underlying().(*types.Chan); ok {
+			if st, ok := t.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// clauseExits reports whether a comm clause body contains a return or
+// break — any possible way out of the enclosing loop.
+func clauseExits(cc *ast.CommClause) bool {
+	exits := false
+	for _, st := range cc.Body {
+		ast.Inspect(st, func(y ast.Node) bool {
+			switch b := y.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.BranchStmt:
+				if b.Tok == token.BREAK || b.Tok == token.GOTO {
+					exits = true
+				}
+			}
+			return !exits
+		})
+	}
+	return exits
+}
+
+// orphanedChanOp looks for a blocking channel operation in the
+// goroutine body on a spawner-local unbuffered channel that has no
+// counterpart operation anywhere else in the package. Returns the
+// operation ("sends on" / "receives from") and the channel's source
+// spelling, or "".
+func orphanedChanOp(p *Pass, g *CallGraph, target *CGNode, l Launch) (op, ch string) {
+	fi := p.FuncInfoAt(l.Go.Pos())
+	if fi == nil {
+		return "", ""
+	}
+	check := func(id *ast.Ident, send bool) bool {
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || !fi.isLocal(v) || !unbufferedChanVar(p, fi, v) || chanEscapes(p, fi, v, l) {
+			return false
+		}
+		return !hasCounterpart(p, g, target, v, send)
+	}
+	inspectOwn(target.Body(), func(x ast.Node) {
+		if op != "" {
+			return
+		}
+		switch s := x.(type) {
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(s.Chan).(*ast.Ident); ok && check(id, true) {
+				op, ch = "sends on", id.Name
+			}
+		case *ast.UnaryExpr:
+			if s.Op != token.ARROW {
+				return
+			}
+			if id, ok := ast.Unparen(s.X).(*ast.Ident); ok && check(id, false) {
+				op, ch = "receives from", id.Name
+			}
+		}
+	})
+	return op, ch
+}
+
+// counterpartName names the missing half for the finding message.
+func counterpartName(op string) string {
+	if op == "sends on" {
+		return "receive"
+	}
+	return "send or close"
+}
+
+// unbufferedChanVar reports whether every definition of v is an
+// unbuffered make(chan T) — a rendezvous channel, where each op blocks
+// until its counterpart arrives.
+func unbufferedChanVar(p *Pass, fi *FuncInfo, v *types.Var) bool {
+	defs := fi.Defs[v]
+	if len(defs) == 0 {
+		return false
+	}
+	for _, d := range defs {
+		call, ok := ast.Unparen(d.RHS).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return false
+		}
+		if _, isChan := p.Info.TypeOf(call.Args[0]).Underlying().(*types.Chan); !isChan {
+			return false
+		}
+	}
+	return true
+}
+
+// chanEscapes reports whether the channel variable leaves the spawner's
+// static view: passed as a call argument (other than close/len/cap and
+// the launch itself — even an in-package callee sees it only as a
+// parameter the counterpart scan cannot unify), returned, or assigned
+// to anything that is not a plain local. Once it escapes, a
+// counterpart may exist where the analysis cannot see it.
+func chanEscapes(p *Pass, fi *FuncInfo, v *types.Var, l Launch) bool {
+	escapes := false
+	parents := parentMap(fi.Decl)
+	for _, id := range fi.Uses[v] {
+		switch par := parents[id].(type) {
+		case *ast.CallExpr:
+			if par == l.Go.Call {
+				continue // the launch's own argument list
+			}
+			if fn, ok := par.Fun.(*ast.Ident); ok {
+				switch fn.Name {
+				case "close", "len", "cap":
+					continue
+				}
+			}
+			escapes = true
+		case *ast.ReturnStmt:
+			escapes = true
+		case *ast.AssignStmt:
+			for i, lhs := range par.Lhs {
+				if i < len(par.Rhs) && par.Rhs[i] == id {
+					if _, isIdent := ast.Unparen(lhs).(*ast.Ident); !isIdent {
+						escapes = true // stored into a field/map/slice
+					}
+				}
+			}
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			escapes = true
+		}
+	}
+	return escapes
+}
+
+// hasCounterpart scans every node of the package except the goroutine
+// body itself for the operation that would unblock it: for a send, a
+// receive or range over the channel; for a receive, a send or close.
+func hasCounterpart(p *Pass, g *CallGraph, exclude *CGNode, v *types.Var, send bool) bool {
+	usesVar := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && p.Info.Uses[id] == v
+	}
+	found := false
+	for _, n := range g.Nodes {
+		if n == exclude || found {
+			continue
+		}
+		inspectOwn(n.Body(), func(x ast.Node) {
+			if found {
+				return
+			}
+			switch s := x.(type) {
+			case *ast.SendStmt:
+				if !send && usesVar(s.Chan) {
+					found = true
+				}
+			case *ast.UnaryExpr:
+				if send && s.Op == token.ARROW && usesVar(s.X) {
+					found = true
+				}
+			case *ast.RangeStmt:
+				if send && usesVar(s.X) {
+					found = true
+				}
+			case *ast.CallExpr:
+				if !send {
+					if fn, ok := s.Fun.(*ast.Ident); ok && fn.Name == "close" && len(s.Args) == 1 && usesVar(s.Args[0]) {
+						found = true
+					}
+				}
+			}
+		})
+	}
+	return found
+}
+
+// WaitGroupMisuse flags the three WaitGroup protocol violations that
+// turn a fan-out join into a hang or a panic:
+//
+//  1. Add called inside the launched goroutine: the spawner's Wait can
+//     run before the goroutine is scheduled, see counter zero, and
+//     return while work is still in flight. Add must happen before the
+//     go statement, on the spawner's side of the happens-before edge.
+//  2. Done not deferred while an earlier return or a call that can
+//     panic may exit the function first: the counter never reaches
+//     zero and Wait blocks forever.
+//  3. Wait called while holding a lock that the Done-side goroutines
+//     also acquire: the waiter holds the lock the workers need to
+//     finish — a deadlock the race detector cannot see.
+type WaitGroupMisuse struct{}
+
+// Name implements Checker.
+func (WaitGroupMisuse) Name() string { return "waitgroup-misuse" }
+
+// Doc implements Checker.
+func (WaitGroupMisuse) Doc() string {
+	return "WaitGroup protocol: Add before launch, Done deferred on every path, Wait not under a lock the workers take"
+}
+
+// wgOp is one WaitGroup method call.
+type wgOp struct {
+	call     *ast.CallExpr
+	name     string // Add, Done, Wait
+	key      string // lock-style canonical identity of the receiver
+	display  string
+	node     *CGNode
+	deferred bool
+}
+
+// Run implements Checker.
+func (c WaitGroupMisuse) Run(p *Pass) []Finding {
+	g := p.CallGraph()
+	lf := p.LockFacts()
+
+	ops := collectWgOps(p, g)
+	if len(ops) == 0 {
+		return nil
+	}
+	waitKeys := map[string]bool{}
+	doneByNode := map[*CGNode]map[string]bool{}
+	for _, op := range ops {
+		if op.name == "Wait" {
+			waitKeys[op.key] = true
+		}
+		if op.name == "Done" {
+			if doneByNode[op.node] == nil {
+				doneByNode[op.node] = map[string]bool{}
+			}
+			doneByNode[op.node][op.key] = true
+		}
+	}
+
+	// mayPanic: bottom-up "reaches a direct panic() call".
+	mayPanic := g.Propagate(func(n *CGNode) bool {
+		has := false
+		inspectOwn(n.Body(), func(x ast.Node) {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+						has = true
+					}
+				}
+			}
+		})
+		return has
+	})
+
+	var out []Finding
+	for _, op := range ops {
+		switch op.name {
+		case "Add":
+			if lf.Launched(op.node) && waitKeys[op.key] {
+				out = append(out, p.rangeFinding(c.Name(), op.call.Pos(), op.call.End(),
+					"%s.Add runs inside the launched goroutine: Wait can observe the counter before the goroutine is scheduled and return early; call Add before the go statement", op.display))
+			}
+		case "Done":
+			if op.deferred || !waitKeys[op.key] {
+				continue
+			}
+			if why := skippablePathBefore(p, g, op, mayPanic); why != "" {
+				out = append(out, p.rangeFinding(c.Name(), op.call.Pos(), op.call.End(),
+					"%s.Done is not deferred and %s can exit the function first, leaving the counter high and Wait blocked forever; use defer %s.Done()", op.display, why, op.display))
+			}
+		case "Wait":
+			held := lf.HeldAt(op.node, op.call.Pos())
+			if len(held) == 0 {
+				continue
+			}
+			for _, m := range g.Nodes {
+				if !lf.Launched(m) {
+					continue
+				}
+				if !reachesDone(g, doneByNode, m, op.key) {
+					continue
+				}
+				conflict := ""
+				for _, k := range sortedKeys(held) {
+					if lf.Acquired(m)[k] {
+						conflict = k
+						break
+					}
+				}
+				if conflict == "" {
+					continue
+				}
+				out = append(out, p.rangeFinding(c.Name(), op.call.Pos(), op.call.End(),
+					"%s.Wait is called with %s held, and goroutine %s calling %s.Done acquires the same lock: the waiter blocks the workers it waits for; release the lock before Wait",
+					op.display, lf.Display(conflict), g.NodeName(m), op.display))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// collectWgOps finds every WaitGroup Add/Done/Wait call per node.
+func collectWgOps(p *Pass, g *CallGraph) []wgOp {
+	var ops []wgOp
+	for _, n := range g.Nodes {
+		deferred := map[*ast.CallExpr]bool{}
+		inspectOwn(n.Body(), func(x ast.Node) {
+			if d, ok := x.(*ast.DeferStmt); ok {
+				deferred[d.Call] = true
+			}
+		})
+		inspectOwn(n.Body(), func(x ast.Node) {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			switch sel.Sel.Name {
+			case "Add", "Done", "Wait":
+			default:
+				return
+			}
+			s, ok := p.Info.Selections[sel]
+			if !ok || !isWaitGroup(s.Recv()) {
+				return
+			}
+			key, display := lockKeyOf(p, sel.X)
+			ops = append(ops, wgOp{
+				call: call, name: sel.Sel.Name, key: "wg/" + key,
+				display: display, node: n, deferred: deferred[call],
+			})
+		})
+	}
+	return ops
+}
+
+// skippablePathBefore explains how control can leave op.node before a
+// non-deferred Done executes: an earlier return statement, or an
+// earlier call into a function that can panic. Returns "" when no such
+// path is visible.
+func skippablePathBefore(p *Pass, g *CallGraph, op wgOp, mayPanic map[*CGNode]bool) string {
+	why := ""
+	inspectOwn(op.node.Body(), func(x ast.Node) {
+		if why != "" {
+			return
+		}
+		if r, ok := x.(*ast.ReturnStmt); ok && r.Pos() < op.call.Pos() {
+			why = "an earlier return"
+		}
+	})
+	if why != "" {
+		return why
+	}
+	for _, e := range g.EdgesFrom(op.node) {
+		if e.Site.Pos() >= op.call.Pos() || e.Target == nil || !mayPanic[e.Target] {
+			continue
+		}
+		callee := g.NodeName(e.Target)
+		if e.Callee != nil {
+			callee = g.FuncName(e.Callee)
+		}
+		return "an earlier call to " + callee + " (which can panic)"
+	}
+	return ""
+}
+
+// reachesDone reports whether launched node m, or anything it reaches
+// through non-launch edges, calls Done on the given WaitGroup key.
+func reachesDone(g *CallGraph, doneByNode map[*CGNode]map[string]bool, m *CGNode, key string) bool {
+	seen := map[*CGNode]bool{m: true}
+	work := []*CGNode{m}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if doneByNode[n][key] {
+			return true
+		}
+		for _, e := range g.EdgesFrom(n) {
+			if e.Target != nil && !seen[e.Target] {
+				seen[e.Target] = true
+				work = append(work, e.Target)
+			}
+		}
+	}
+	return false
+}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package.
@@ -21,11 +22,13 @@ type Package struct {
 	Files      []*ast.File
 	Pkg        *types.Package
 	Info       *types.Info
-	// Confined is the loader's shared //prionnvet:confined registry: it
-	// accumulates annotations from every package the loader has checked,
-	// so a pass over internal/serve sees annotations declared in
-	// internal/prionn (the loader type-checks module-internal imports
-	// itself, making *types.Func identities stable across packages).
+	// Confined is a snapshot of the loader's //prionnvet:confined
+	// registry taken when this package finished loading: annotations
+	// from the package itself and from every dependency the loader
+	// type-checked before it (the loader resolves module-internal
+	// imports itself, making *types.Func identities stable across
+	// packages). A snapshot — not the live registry — so a Pass can be
+	// read while another goroutine keeps loading packages.
 	Confined map[*types.Func]bool
 }
 
@@ -48,6 +51,12 @@ type Loader struct {
 	ModulePath string
 	ModuleRoot string
 
+	// mu serializes all loading: LoadDir and ImportFrom lock it, the
+	// unlocked internals (loadDir, importFrom) do the work, and go/types
+	// re-enters through loaderImporter — a separate type, so the
+	// type-checker's recursive imports never try to re-lock. The byDir,
+	// byPath, and confined maps are only touched with mu held.
+	mu       sync.Mutex
 	std      types.ImporterFrom
 	byPath   map[string]*Package
 	byDir    map[string]*Package
@@ -97,10 +106,32 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 
 // ImportFrom implements types.ImporterFrom, routing module-internal
 // paths to the loader and everything else to the source importer.
+// Safe for concurrent use; loads are serialized on l.mu.
 func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//prionnvet:ignore lock-held-io -- loading IS the critical section: mu serializes parse+typecheck over the shared memo/confined maps, and no other lock is ever taken under it
+	return l.importFrom(path, dir, mode)
+}
+
+// loaderImporter is the importer handed to types.Config: it reaches
+// the unlocked internals directly, because conf.Check runs with l.mu
+// already held and locking again would self-deadlock.
+type loaderImporter struct{ l *Loader }
+
+func (li loaderImporter) Import(path string) (*types.Package, error) {
+	return li.l.importFrom(path, "", 0)
+}
+
+func (li loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return li.l.importFrom(path, dir, mode)
+}
+
+// importFrom is ImportFrom without the lock; callers hold l.mu.
+func (l *Loader) importFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	if l.ModulePath != "" && (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
-		pkg, err := l.LoadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+		pkg, err := l.loadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +142,17 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 
 // LoadDir parses and type-checks the package in dir (non-test files
 // only). Results are memoized, so shared dependencies are checked once.
+// Safe for concurrent use; loads are serialized on l.mu.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//prionnvet:ignore lock-held-io -- loading IS the critical section: mu serializes parse+typecheck over the shared memo/confined maps, and no other lock is ever taken under it
+	return l.loadDir(dir)
+}
+
+// loadDir is LoadDir without the lock; callers hold l.mu (go/types
+// re-enters here via loaderImporter during conf.Check).
+func (l *Loader) loadDir(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -142,7 +183,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	importPath := l.importPathFor(abs, files[0].Name.Name)
-	conf := types.Config{Importer: l}
+	conf := types.Config{Importer: loaderImporter{l}}
 	tpkg, err := conf.Check(importPath, l.Fset, files, info)
 	if err != nil {
 		delete(l.byDir, abs)
@@ -151,7 +192,15 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	for fn := range scanConfinedFiles(files, info) {
 		l.confined[fn] = true
 	}
-	pkg := &Package{Dir: abs, ImportPath: importPath, Files: files, Pkg: tpkg, Info: info, Confined: l.confined}
+	// Snapshot the registry: a package's relevant annotations come from
+	// itself and its dependencies, all loaded (under mu) before this
+	// point, so the copy is complete for this package — and immutable,
+	// so a Pass over it is safe against later concurrent loads.
+	confined := make(map[*types.Func]bool, len(l.confined))
+	for fn := range l.confined {
+		confined[fn] = true
+	}
+	pkg := &Package{Dir: abs, ImportPath: importPath, Files: files, Pkg: tpkg, Info: info, Confined: confined}
 	l.byDir[abs] = pkg
 	l.byPath[importPath] = pkg
 	return pkg, nil

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -169,6 +170,78 @@ func TestPackageDirsSkipSet(t *testing.T) {
 	}
 	if len(dirs) != 1 || dirs[0] != filepath.Join(root, "a") {
 		t.Fatalf("PackageDirs with skip = %v", dirs)
+	}
+}
+
+// TestLoaderConcurrentLoad pins the loader's race safety under `go
+// test -race`: one loader, several goroutines, two package trees that
+// share a dependency carrying a //prionnvet:confined annotation. Every
+// structure this exercises — the byDir memo (with its nil cycle
+// guard), byPath, and the confined registry — was mutated bare before
+// the loads were serialized on Loader.mu.
+func TestLoaderConcurrentLoad(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"shared/shared.go": "package shared\n\n" +
+			"//prionnvet:confined -- scratch buffer reuse\n" +
+			"func Scratch() {}\n",
+		"alpha/alpha.go": "package alpha\n\nimport \"demo/shared\"\n\n" +
+			"func UseA() { shared.Scratch() }\n",
+		"beta/beta.go": "package beta\n\nimport \"demo/shared\"\n\n" +
+			"func UseB() { shared.Scratch() }\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{
+		filepath.Join(root, "alpha"),
+		filepath.Join(root, "beta"),
+		filepath.Join(root, "shared"),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*len(dirs))
+	for round := 0; round < 4; round++ {
+		for _, dir := range dirs {
+			wg.Add(1)
+			go func(dir string) {
+				defer wg.Done()
+				pkg, err := loader.LoadDir(dir)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Reading the snapshot must be safe while other
+				// goroutines keep loading.
+				for fn := range pkg.Confined {
+					_ = fn.Name()
+				}
+				errs <- nil
+			}(dir)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent LoadDir: %v", err)
+		}
+	}
+	// Both dependents' snapshots must contain the shared annotation.
+	for _, dir := range dirs[:2] {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for fn := range pkg.Confined {
+			if fn.Name() == "Scratch" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s snapshot is missing the shared //prionnvet:confined annotation", filepath.Base(dir))
+		}
 	}
 }
 

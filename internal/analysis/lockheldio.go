@@ -42,7 +42,7 @@ type blockingOp struct {
 type mutexOp struct {
 	call *ast.CallExpr
 	name string
-	key  string // receiver expression, e.g. "s.mu"
+	recv ast.Expr // receiver expression, e.g. the s.mu of s.mu.Lock()
 }
 
 // Run implements Checker.
@@ -83,51 +83,31 @@ func (LockHeldIO) Run(p *Pass) []Finding {
 		asyncCalls[l.Go.Call] = true
 	}
 
-	var out []Finding
+	// Defer sites only schedule; they never execute inside the region.
+	lf := p.LockFacts()
 	for _, n := range g.Nodes {
-		var locks, unlocks []mutexOp
-		deferredCalls := map[*ast.CallExpr]bool{}
 		inspectOwn(n.Body(), func(x ast.Node) {
-			switch s := x.(type) {
-			case *ast.DeferStmt:
-				deferredCalls[s.Call] = true
-				asyncCalls[s.Call] = true
-			case *ast.CallExpr:
-				op, ok := mutexOpOf(p, s)
-				if !ok {
-					return
-				}
-				switch op.name {
-				case "Lock", "RLock":
-					locks = append(locks, op)
-				default:
-					if !deferredCalls[s] {
-						unlocks = append(unlocks, op)
-					}
-				}
+			if d, ok := x.(*ast.DeferStmt); ok {
+				asyncCalls[d.Call] = true
 			}
 		})
-		for _, l := range locks {
-			uname := "Unlock"
-			if l.name == "RLock" {
-				uname = "RUnlock"
-			}
-			start, end := l.call.End(), n.Body().End()
-			for _, u := range unlocks {
-				if u.name == uname && u.key == l.key && u.call.Pos() > start && u.call.Pos() < end {
-					end = u.call.Pos()
-				}
-			}
+	}
+
+	var out []Finding
+	for _, n := range g.Nodes {
+		// Positional lock regions come from the shared lockset engine
+		// (lockRegionsIn, generalized out of this checker).
+		for _, r := range lf.Regions(n) {
 			for _, op := range opsByNode[n] {
-				if op.pos > start && op.pos < end {
+				if r.Covers(op.pos) {
 					out = append(out, p.rangeFinding("lock-held-io", op.pos, op.end,
-						"%s is held across %s; release the lock first", l.key, op.why))
+						"%s is held across %s; release the lock first", r.Display, op.why))
 				}
 			}
 			flaggedSite := map[*ast.CallExpr]bool{}
 			for _, e := range g.EdgesFrom(n) {
 				site := e.Site
-				if site.Pos() <= start || site.Pos() >= end || asyncCalls[site] || flaggedSite[site] {
+				if !r.Covers(site.Pos()) || asyncCalls[site] || flaggedSite[site] {
 					continue
 				}
 				if e.Target == nil || why[e.Target] == "" {
@@ -139,7 +119,7 @@ func (LockHeldIO) Run(p *Pass) []Finding {
 					callee = g.FuncName(e.Callee)
 				}
 				out = append(out, p.rangeFinding("lock-held-io", site.Pos(), site.End(),
-					"%s is held across a call to %s, which reaches %s; release the lock first", l.key, callee, why[e.Target]))
+					"%s is held across a call to %s, which reaches %s; release the lock first", r.Display, callee, why[e.Target]))
 			}
 		}
 	}
@@ -255,5 +235,5 @@ func mutexOpOf(p *Pass, call *ast.CallExpr) (mutexOp, bool) {
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return mutexOp{}, false
 	}
-	return mutexOp{call: call, name: name, key: types.ExprString(sel.X)}, true
+	return mutexOp{call: call, name: name, recv: sel.X}, true
 }

@@ -1,0 +1,534 @@
+package analysis
+
+// Lockset engine: the concurrency half of the interprocedural layer.
+// On top of the call graph (callgraph.go) it computes, per function
+// body, the positional mutex regions (generalized out of lock-held-io,
+// which now consumes them), a must-hold *entry lockset* for every node
+// (the locks guaranteed held whenever the function is entered,
+// propagated top-down through call sites with intersection semantics),
+// a may-acquire summary (the locks a function or anything it reaches
+// can take, bottom-up with union semantics), and the package-level
+// *lock-order graph*: an edge L1→L2 whenever L2 is acquired — directly
+// or through any chain of calls — while L1 is held. Cycles in that
+// graph are potential deadlocks (lock-order-cycle); the per-position
+// lockset answers "is this field access guarded?" (guarded-field) and
+// "which locks does Wait hold?" (waitgroup-misuse).
+//
+// Lock identity is type-based, the standard abstraction for static
+// lockset analysis: s.mu in one method and t.mu in another method of
+// the same struct are the same lock (distinct instances of one type
+// are almost always the same instance when two functions of one
+// package touch them, and merging them errs toward reporting).
+// Package-level mutexes key by their variable; purely local mutexes by
+// their declaration position, so they never unify across functions.
+//
+// Directions of conservatism: the entry lockset is a MUST analysis —
+// exported functions, goroutine bodies, and defer targets start from
+// the empty set, because the analysis cannot see their callers' lock
+// state (a goroutine never inherits its spawner's locks: they run
+// concurrently). The acquisition summary is a MAY analysis — launch
+// sites are excluded (a lock taken by a spawned goroutine is not taken
+// by the spawner), everything else unions in.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// LockRegion is one positional mutex region inside a single function
+// body: from the Lock/RLock call to the first matching positional
+// Unlock, or to the end of the body when the unlock is deferred or
+// absent.
+type LockRegion struct {
+	// Key is the canonical lock identity (see lockKeyOf).
+	Key string
+	// Display is the source-level receiver text, e.g. "s.mu", used in
+	// messages.
+	Display string
+	// RLock marks a read-lock region.
+	RLock bool
+	// Acquire is the Lock/RLock call.
+	Acquire *ast.CallExpr
+	// Start and End delimit the region: (Acquire.End(), matching
+	// unlock position or body end). An operation at pos is inside the
+	// region when Start < pos < End.
+	Start, End token.Pos
+}
+
+// Covers reports whether pos falls inside the region.
+func (r LockRegion) Covers(pos token.Pos) bool { return pos > r.Start && pos < r.End }
+
+// lockKeyOf canonicalizes the receiver expression of a sync method
+// call (the s.mu of s.mu.Lock(), or the s of an embedded s.Lock()) to
+// a stable cross-function identity. Shared by the lockset engine and
+// the WaitGroup checker, which needs the same receiver unification for
+// Add/Done/Wait pairing.
+func lockKeyOf(p *Pass, recv ast.Expr) (key, display string) {
+	display = types.ExprString(recv)
+	e := ast.Unparen(recv)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		// Field path: key by the type that holds the field, so s.mu and
+		// t.mu unify when s and t have the same type.
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			t := sel.Recv()
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				return "T:" + named.Obj().Name() + "." + x.Sel.Name, display
+			}
+		}
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok {
+			t := v.Type()
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			// Embedded mutex called through the owner value (s.Lock()):
+			// key by the owner type so every method agrees.
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() == p.Pkg {
+				return "T:" + named.Obj().Name(), display
+			}
+			if v.Parent() == p.Pkg.Scope() {
+				return "G:" + v.Name(), display
+			}
+			// Function-local mutex: unique per declaration, never unified
+			// across functions.
+			return fmt.Sprintf("L:%d", v.Pos()), display
+		}
+	}
+	return "E:" + display, display
+}
+
+// lockRegionsIn computes the positional lock regions of one node's own
+// body (nested literals are their own nodes and excluded). Deferred
+// unlocks do not close a region — the lock is held to the body end.
+func lockRegionsIn(p *Pass, n *CGNode) []LockRegion {
+	type unlock struct {
+		key  string
+		runl bool // RUnlock
+		pos  token.Pos
+	}
+	var locks []LockRegion
+	var unlocks []unlock
+	deferred := map[*ast.CallExpr]bool{}
+	inspectOwn(n.Body(), func(x ast.Node) {
+		switch s := x.(type) {
+		case *ast.DeferStmt:
+			deferred[s.Call] = true
+		case *ast.CallExpr:
+			op, ok := mutexOpOf(p, s)
+			if !ok {
+				return
+			}
+			key, display := lockKeyOf(p, op.recv)
+			switch op.name {
+			case "Lock", "RLock":
+				locks = append(locks, LockRegion{
+					Key:     key,
+					Display: display,
+					RLock:   op.name == "RLock",
+					Acquire: s,
+					Start:   s.End(),
+					End:     n.Body().End(),
+				})
+			default:
+				if !deferred[s] {
+					unlocks = append(unlocks, unlock{key: key, runl: op.name == "RUnlock", pos: s.Pos()})
+				}
+			}
+		}
+	})
+	for i := range locks {
+		for _, u := range unlocks {
+			if u.key == locks[i].Key && u.runl == locks[i].RLock &&
+				u.pos > locks[i].Start && u.pos < locks[i].End {
+				locks[i].End = u.pos
+			}
+		}
+	}
+	return locks
+}
+
+// LockOrderEdge is one edge of the lock-order graph: To was acquired
+// while From was held, at Pos inside Node. Why renders the acquisition
+// step for reports.
+type LockOrderEdge struct {
+	From, To string // canonical keys
+	Node     *CGNode
+	Pos, End token.Pos
+	Why      string
+}
+
+// LockFacts bundles the lockset analysis of one package, memoized on
+// the Pass (see Pass.LockFacts).
+type LockFacts struct {
+	pass *Pass
+	g    *CallGraph
+
+	regions map[*CGNode][]LockRegion
+	// entry is the must-hold lockset at each node's entry.
+	entry map[*CGNode]map[string]bool
+	// acquired is the may-acquire summary: every lock the node or any
+	// in-package function it reaches (launches excluded) can take.
+	acquired map[*CGNode]map[string]bool
+	// display maps canonical keys to the first source spelling seen.
+	display map[string]string
+	// order is the lock-order graph, deduplicated by (From, To) with
+	// the first witness kept; insertion order is deterministic (node
+	// order, then source order).
+	order []*LockOrderEdge
+
+	launchSite map[*ast.CallExpr]bool
+	deferSite  map[*ast.CallExpr]bool
+	launched   map[*CGNode]bool
+}
+
+// LockFacts returns the package lockset analysis, building it on first
+// use. Checkers sharing a Pass share one computation.
+func (p *Pass) LockFacts() *LockFacts {
+	if p.lf != nil {
+		return p.lf
+	}
+	lf := &LockFacts{
+		pass:       p,
+		g:          p.CallGraph(),
+		regions:    map[*CGNode][]LockRegion{},
+		entry:      map[*CGNode]map[string]bool{},
+		acquired:   map[*CGNode]map[string]bool{},
+		display:    map[string]string{},
+		launchSite: map[*ast.CallExpr]bool{},
+		deferSite:  map[*ast.CallExpr]bool{},
+		launched:   map[*CGNode]bool{},
+	}
+	lf.build()
+	p.lf = lf
+	return lf
+}
+
+// Regions returns the node's positional lock regions.
+func (lf *LockFacts) Regions(n *CGNode) []LockRegion { return lf.regions[n] }
+
+// Display renders a canonical lock key for messages.
+func (lf *LockFacts) Display(key string) string {
+	if d, ok := lf.display[key]; ok {
+		return d
+	}
+	return key
+}
+
+// Launched reports whether n is the body of a goroutine launch.
+func (lf *LockFacts) Launched(n *CGNode) bool { return lf.launched[n] }
+
+// Acquired returns the may-acquire summary of n: every lock n or any
+// function it reaches (not counting goroutines it spawns) can take.
+func (lf *LockFacts) Acquired(n *CGNode) map[string]bool { return lf.acquired[n] }
+
+// HeldAt returns the must-hold lockset at pos inside n: the entry
+// lockset plus every local region covering pos.
+func (lf *LockFacts) HeldAt(n *CGNode, pos token.Pos) map[string]bool {
+	out := map[string]bool{}
+	for k := range lf.entry[n] {
+		out[k] = true
+	}
+	for _, r := range lf.regions[n] {
+		if r.Covers(pos) {
+			out[r.Key] = true
+		}
+	}
+	return out
+}
+
+// OrderEdges returns the lock-order graph edges in deterministic order.
+func (lf *LockFacts) OrderEdges() []*LockOrderEdge { return lf.order }
+
+func (lf *LockFacts) build() {
+	p, g := lf.pass, lf.g
+
+	for _, l := range g.Launches {
+		lf.launchSite[l.Go.Call] = true
+		for _, e := range g.SiteEdges(l.Go.Call) {
+			if e.Target != nil {
+				lf.launched[e.Target] = true
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		inspectOwn(n.Body(), func(x ast.Node) {
+			if d, ok := x.(*ast.DeferStmt); ok {
+				lf.deferSite[d.Call] = true
+			}
+		})
+		regs := lockRegionsIn(p, n)
+		lf.regions[n] = regs
+		for _, r := range regs {
+			if _, ok := lf.display[r.Key]; !ok {
+				lf.display[r.Key] = r.Display
+			}
+		}
+	}
+
+	lf.buildEntry()
+	lf.buildAcquired()
+	lf.buildOrder()
+}
+
+// localHeld is the lockset contributed by n's own regions at pos,
+// without the entry set.
+func (lf *LockFacts) localHeld(n *CGNode, pos token.Pos) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range lf.regions[n] {
+		if r.Covers(pos) {
+			out[r.Key] = true
+		}
+	}
+	return out
+}
+
+// buildEntry computes the must-hold entry lockset per node: the
+// intersection over every visible in-edge of the caller's lockset at
+// the call site. Nodes whose callers are invisible — exported
+// declarations, goroutine bodies, defer targets, nodes with no
+// in-package in-edges — start (and stay) empty: claiming fewer held
+// locks is the safe direction for a must analysis.
+func (lf *LockFacts) buildEntry() {
+	g := lf.g
+	// nil means "unknown" (top); the loop only ever shrinks sets.
+	entry := map[*CGNode]map[string]bool{}
+	empty := func(n *CGNode) bool {
+		if n.Fn != nil && n.Fn.Exported() {
+			return true
+		}
+		if lf.launched[n] {
+			return true
+		}
+		return len(g.EdgesTo(n)) == 0
+	}
+	for _, n := range g.Nodes {
+		if empty(n) {
+			entry[n] = map[string]bool{}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if e := entry[n]; e != nil && len(e) == 0 {
+				continue // already bottom
+			}
+			var acc map[string]bool // nil = top
+			for _, e := range g.EdgesTo(n) {
+				var contrib map[string]bool
+				switch {
+				case lf.launchSite[e.Site] || lf.deferSite[e.Site]:
+					// A goroutine runs concurrently with the spawner's
+					// locks; a deferred call runs at exit with unknowable
+					// lock state. Neither may assume anything held.
+					contrib = map[string]bool{}
+				default:
+					ce := entry[e.Caller]
+					if ce == nil {
+						continue // caller still unknown: no constraint yet
+					}
+					contrib = lf.localHeld(e.Caller, e.Site.Pos())
+					for k := range ce {
+						contrib[k] = true
+					}
+				}
+				if acc == nil {
+					acc = contrib
+				} else {
+					for k := range acc {
+						if !contrib[k] {
+							delete(acc, k)
+						}
+					}
+				}
+			}
+			if acc == nil {
+				continue // every caller unknown (cycle): stay top
+			}
+			if prev := entry[n]; prev == nil || len(prev) != len(acc) {
+				entry[n] = acc
+				changed = true
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if entry[n] == nil {
+			entry[n] = map[string]bool{} // pure cycles resolve to bottom
+		}
+	}
+	lf.entry = entry
+}
+
+// buildAcquired computes the may-acquire summary bottom-up: direct
+// regions union the summaries of every non-launch callee.
+func (lf *LockFacts) buildAcquired() {
+	g := lf.g
+	acq := map[*CGNode]map[string]bool{}
+	for _, n := range g.Nodes {
+		s := map[string]bool{}
+		for _, r := range lf.regions[n] {
+			s[r.Key] = true
+		}
+		acq[n] = s
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			for _, e := range g.EdgesFrom(n) {
+				if e.Target == nil || lf.launchSite[e.Site] {
+					continue
+				}
+				for k := range acq[e.Target] {
+					if !acq[n][k] {
+						acq[n][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	lf.acquired = acq
+}
+
+// shortPos renders a position as base-filename:line for why steps
+// (module-root-relative paths are the CLI's business; base names keep
+// the steps stable and short).
+func (lf *LockFacts) shortPos(pos token.Pos) string {
+	position := lf.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(position.Filename), position.Line)
+}
+
+// buildOrder derives the lock-order graph. Two edge sources: a direct
+// acquisition inside a region of another lock, and a call made while
+// holding a lock into a function whose may-acquire summary contains
+// another lock. Edges are deduplicated by (From, To), first witness
+// wins; iteration order (nodes, then source order, then sorted held
+// sets) makes the witness deterministic.
+func (lf *LockFacts) buildOrder() {
+	g := lf.g
+	seen := map[[2]string]bool{}
+	add := func(e *LockOrderEdge) {
+		k := [2]string{e.From, e.To}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		lf.order = append(lf.order, e)
+	}
+	for _, n := range g.Nodes {
+		for _, r := range lf.regions[n] {
+			held := lf.HeldAt(n, r.Acquire.Pos())
+			for _, from := range sortedKeys(held) {
+				if from == r.Key {
+					continue
+				}
+				add(&LockOrderEdge{
+					From: from, To: r.Key, Node: n,
+					Pos: r.Acquire.Pos(), End: r.Acquire.End(),
+					Why: fmt.Sprintf("%s acquires %s at %s while %s is held",
+						g.NodeName(n), lf.Display(r.Key), lf.shortPos(r.Acquire.Pos()), lf.Display(from)),
+				})
+			}
+		}
+		for _, e := range g.EdgesFrom(n) {
+			if e.Target == nil || lf.launchSite[e.Site] {
+				continue
+			}
+			held := lf.HeldAt(n, e.Site.Pos())
+			if len(held) == 0 {
+				continue
+			}
+			callee := g.NodeName(e.Target)
+			if e.Callee != nil {
+				callee = g.FuncName(e.Callee)
+			}
+			for _, to := range sortedKeys(lf.acquired[e.Target]) {
+				if held[to] {
+					continue
+				}
+				for _, from := range sortedKeys(held) {
+					if from == to {
+						continue
+					}
+					add(&LockOrderEdge{
+						From: from, To: to, Node: n,
+						Pos: e.Site.Pos(), End: e.Site.End(),
+						Why: fmt.Sprintf("%s calls %s at %s while %s is held; %s acquires %s",
+							g.NodeName(n), callee, lf.shortPos(e.Site.Pos()), lf.Display(from), callee, lf.Display(to)),
+					})
+				}
+			}
+		}
+	}
+}
+
+// OrderCycles returns the cycles of the lock-order graph as edge
+// chains (edge i's To is edge i+1's From, and the last edge returns to
+// the first's From). One cycle is reported per distinct key set; for
+// each starting edge the shortest return path is used, so the common
+// two-lock inversion yields exactly its two witnesses.
+func (lf *LockFacts) OrderCycles() [][]*LockOrderEdge {
+	next := map[string][]*LockOrderEdge{}
+	for _, e := range lf.order {
+		next[e.From] = append(next[e.From], e)
+	}
+	var cycles [][]*LockOrderEdge
+	seenSet := map[string]bool{}
+	for _, start := range lf.order {
+		// BFS from start.To back to start.From.
+		type pathNode struct {
+			key string
+			via []*LockOrderEdge
+		}
+		visited := map[string]bool{start.To: true}
+		queue := []pathNode{{key: start.To, via: []*LockOrderEdge{start}}}
+		var cycle []*LockOrderEdge
+		for len(queue) > 0 && cycle == nil {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range next[cur.key] {
+				via := append(append([]*LockOrderEdge{}, cur.via...), e)
+				if e.To == start.From {
+					cycle = via
+					break
+				}
+				if !visited[e.To] {
+					visited[e.To] = true
+					queue = append(queue, pathNode{key: e.To, via: via})
+				}
+			}
+		}
+		if cycle == nil {
+			continue
+		}
+		keys := map[string]bool{}
+		for _, e := range cycle {
+			keys[e.From] = true
+		}
+		sig := fmt.Sprint(sortedKeys(keys))
+		if seenSet[sig] {
+			continue
+		}
+		seenSet[sig] = true
+		cycles = append(cycles, cycle)
+	}
+	return cycles
+}
+
+// sortedKeys returns the keys of a string set in sorted order, for
+// deterministic iteration.
+func sortedKeys(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadLockset loads the engine fixture and builds its lock facts.
+func loadLockset(t *testing.T) (*Pass, *CallGraph, *LockFacts) {
+	t.Helper()
+	loader, pkg := loadFixture(t, "lockset")
+	pass := pkg.Pass(loader.Fset)
+	return pass, pass.CallGraph(), pass.LockFacts()
+}
+
+// methodNode resolves a method of the fixture's box type to its node.
+func methodNode(t *testing.T, p *Pass, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Lit == nil && n.Decl.Name.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("fixture has no declaration %q", name)
+	return nil
+}
+
+func TestLockRegionPairing(t *testing.T) {
+	p, g, lf := loadLockset(t)
+
+	paired := methodNode(t, p, g, "paired")
+	regs := lf.Regions(paired)
+	if len(regs) != 1 {
+		t.Fatalf("paired has %d regions, want 1", len(regs))
+	}
+	r := regs[0]
+	if r.Key != "T:box.mu" || r.RLock {
+		t.Errorf("region = %q rlock=%v, want T:box.mu write lock", r.Key, r.RLock)
+	}
+	if r.End == paired.Body().End() {
+		t.Errorf("paired region should close at the positional Unlock, not the body end")
+	}
+
+	deferred := methodNode(t, p, g, "deferred")
+	dregs := lf.Regions(deferred)
+	if len(dregs) != 1 || dregs[0].End != deferred.Body().End() {
+		t.Errorf("deferred unlock must leave the region open to the body end; regions = %+v", dregs)
+	}
+
+	reads := methodNode(t, p, g, "reads")
+	rregs := lf.Regions(reads)
+	if len(rregs) != 1 || !rregs[0].RLock || rregs[0].Key != "T:box.rw" {
+		t.Errorf("reads regions = %+v, want one RLock region of T:box.rw", rregs)
+	}
+}
+
+func TestEntryLocksetPropagation(t *testing.T) {
+	p, g, lf := loadLockset(t)
+	cases := []struct {
+		fn   string
+		want []string
+	}{
+		{"helper", []string{"T:box.mu"}}, // sole caller holds mu
+		{"shared", nil},                  // one caller holds, one does not
+		{"child", nil},                   // goroutine body: never inherits
+		{"Exported", nil},                // callers outside the package
+		{"paired", nil},                  // no in-package callers
+	}
+	for _, tc := range cases {
+		n := methodNode(t, p, g, tc.fn)
+		// At the opening brace no local region covers, so HeldAt is
+		// exactly the entry lockset.
+		got := sortedKeys(lf.HeldAt(n, n.Body().Lbrace))
+		if strings.Join(got, ",") != strings.Join(tc.want, ",") {
+			t.Errorf("entry lockset of %s = %v, want %v", tc.fn, got, tc.want)
+		}
+	}
+}
+
+func TestHeldAtInsideRegion(t *testing.T) {
+	p, g, lf := loadLockset(t)
+	paired := methodNode(t, p, g, "paired")
+	r := lf.Regions(paired)[0]
+	if held := lf.HeldAt(paired, r.Start+1); !held["T:box.mu"] {
+		t.Errorf("HeldAt inside the region = %v, want T:box.mu held", sortedKeys(held))
+	}
+	if held := lf.HeldAt(paired, r.End+1); len(held) != 0 {
+		t.Errorf("HeldAt after the unlock = %v, want empty", sortedKeys(held))
+	}
+}
+
+func TestMayAcquireSummary(t *testing.T) {
+	p, g, lf := loadLockset(t)
+	orderOuter := methodNode(t, p, g, "orderOuter")
+	got := sortedKeys(lf.Acquired(orderOuter))
+	if strings.Join(got, ",") != "G:gmu,T:box.mu" {
+		t.Errorf("Acquired(orderOuter) = %v, want [G:gmu T:box.mu]", got)
+	}
+	// The launch in spawnsLocker must not leak takeMu's lock into the
+	// spawner's summary.
+	spawner := methodNode(t, p, g, "spawnsLocker")
+	if acq := lf.Acquired(spawner); len(acq) != 0 {
+		t.Errorf("Acquired(spawnsLocker) = %v, want empty (launch excluded)", sortedKeys(acq))
+	}
+	if !lf.Launched(methodNode(t, p, g, "takeMu")) {
+		t.Errorf("takeMu is go-launched by spawnsLocker; Launched should report it")
+	}
+}
+
+func TestLockOrderGraphAndCycles(t *testing.T) {
+	_, _, lf := loadLockset(t)
+
+	edges := map[string]bool{}
+	for _, e := range lf.OrderEdges() {
+		edges[e.From+"->"+e.To] = true
+		if e.Why == "" {
+			t.Errorf("edge %s->%s has no why step", e.From, e.To)
+		}
+	}
+	for _, want := range []string{
+		"G:gmu->T:box.mu", // through the takeMu call
+		"G:gmu->G:gmu2",   // cycA
+		"G:gmu2->G:gmu",   // cycB
+	} {
+		if !edges[want] {
+			t.Errorf("order graph is missing edge %s; has %v", want, sortedEdgeKeys(edges))
+		}
+	}
+
+	cycles := lf.OrderCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("OrderCycles = %d cycles, want exactly 1 (the gmu/gmu2 inversion, deduped across both starting edges)", len(cycles))
+	}
+	keys := map[string]bool{}
+	for _, e := range cycles[0] {
+		keys[e.From] = true
+		if !strings.Contains(e.Why, "acquires") {
+			t.Errorf("cycle why step %q should describe an acquisition", e.Why)
+		}
+	}
+	if got := strings.Join(sortedKeys(keys), ","); got != "G:gmu,G:gmu2" {
+		t.Errorf("cycle keys = %s, want G:gmu,G:gmu2", got)
+	}
+}
+
+func sortedEdgeKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stubChecker emits a fixed finding list; used to pin RunAll's
+// (position, check) dedupe.
+type stubChecker struct{ fs []Finding }
+
+func (stubChecker) Name() string          { return "stub" }
+func (stubChecker) Doc() string           { return "test stub" }
+func (s stubChecker) Run(*Pass) []Finding { return s.fs }
+
+// TestRunAllDedupesPositionCheck pins the satellite contract: two
+// findings of one check at one position collapse to the first
+// (lexically smallest message); distinct checks at the position
+// survive.
+func TestRunAllDedupesPositionCheck(t *testing.T) {
+	loader, pkg := loadFixture(t, "lockset") // any clean pass will do
+	pass := pkg.Pass(loader.Fset)
+	dup := Finding{Check: "stub", File: "f.go", Line: 3, Col: 1, Message: "b duplicate"}
+	first := Finding{Check: "stub", File: "f.go", Line: 3, Col: 1, Message: "a first"}
+	other := Finding{Check: "stub", File: "f.go", Line: 4, Col: 1, Message: "other line"}
+	got := RunAll(pass, []Checker{stubChecker{fs: []Finding{dup, first, other}}})
+	if len(got) != 2 {
+		t.Fatalf("RunAll returned %d findings, want 2 after dedupe: %v", len(got), got)
+	}
+	if got[0].Message != "a first" || got[1].Message != "other line" {
+		t.Errorf("dedupe kept %q/%q, want the lexically smallest message per position", got[0].Message, got[1].Message)
+	}
+}
+
+// TestLaunchDedupeFixture runs the full checker suite over a launch
+// that triggers naked-goroutine, bare-panic-goroutine, AND
+// goroutine-lifecycle at the same go statement: each check must report
+// exactly once there.
+func TestLaunchDedupeFixture(t *testing.T) {
+	loader, pkg := loadFixture(t, "launch-dedupe")
+	pass := pkg.Pass(loader.Fset)
+	got := RunAll(pass, nil)
+
+	count := map[string]int{}
+	for _, f := range got {
+		count[f.Check]++
+	}
+	for _, check := range []string{"naked-goroutine", "bare-panic-goroutine", "goroutine-lifecycle"} {
+		if count[check] != 1 {
+			t.Errorf("%s fired %d time(s) on the launch, want exactly 1; findings: %v", check, count[check], got)
+		}
+	}
+	seen := map[string]bool{}
+	for _, f := range got {
+		key := f.String()
+		if seen[key] {
+			t.Errorf("duplicate finding survived RunAll: %s", key)
+		}
+		seen[key] = true
+	}
+}

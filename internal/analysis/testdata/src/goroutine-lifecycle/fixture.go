@@ -1,0 +1,86 @@
+// Package fixture exercises the goroutine-lifecycle checker: launches
+// whose goroutine can never terminate.
+package fixture
+
+import "context"
+
+var work = make(chan int, 8)
+
+func handle(int)    {}
+func doWork() error { return nil }
+
+// StartDaemon launches a for/select loop with no way out: no stop
+// case, no return, no break. The goroutine outlives everything.
+func StartDaemon() {
+	go func() { // want "for/select loop with no termination case"
+		for {
+			select {
+			case v := <-work:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// StartWithStop has a struct{} stop-channel case: fine.
+func StartWithStop(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-work:
+				handle(v)
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// StartWithCtx has a ctx.Done() case: fine.
+func StartWithCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case v := <-work:
+				handle(v)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Orphaned sends on an unbuffered local channel nobody ever reads:
+// the goroutine parks on the send forever.
+func Orphaned() {
+	errs := make(chan error)
+	go func() { // want "sends on unbuffered channel errs"
+		errs <- doWork()
+	}()
+}
+
+// OrphanedRecv receives from an unbuffered local channel nobody ever
+// sends on or closes.
+func OrphanedRecv() {
+	done := make(chan struct{})
+	go func() { // want "receives from unbuffered channel done"
+		<-done
+	}()
+}
+
+// Joined has the counterpart receive on the spawner side: fine.
+func Joined() error {
+	errs := make(chan error)
+	go func() {
+		errs <- doWork()
+	}()
+	return <-errs
+}
+
+// Buffered sends never block up to capacity: out of scope.
+func Buffered() {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- doWork()
+	}()
+}

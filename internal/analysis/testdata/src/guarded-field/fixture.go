@@ -1,0 +1,58 @@
+// Package fixture exercises the guarded-field checker: struct fields
+// protected by a mutex in one function and accessed lock-free in
+// another, where the two accesses can run on different goroutines.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Run launches the guarded writer, then writes the same field with no
+// lock — racing with the goroutine it just started.
+func Run(c *counter) {
+	go c.loop()
+	c.n = 7 // want "guarded by c.mu"
+}
+
+// loop is the goroutine body: its access is under the mutex.
+func (c *counter) loop() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Stats reads lock-free from plain code while loop's goroutine writes
+// under the lock.
+func Stats(c *counter) int {
+	return c.n // want "guarded by c.mu"
+}
+
+// Get is the correct pattern: every access under the lock.
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bump is only ever called with the lock held, so the entry-lockset
+// fixpoint proves its access guarded: no finding.
+func (c *counter) bump() {
+	c.n++
+}
+
+func (c *counter) incrViaHelper() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+// Fresh builds a counter locally: it cannot be shared yet, so the
+// lock-free accesses are fine.
+func Fresh() int {
+	var c counter
+	c.n = 1
+	return c.n
+}

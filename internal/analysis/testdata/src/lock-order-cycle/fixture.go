@@ -1,0 +1,72 @@
+// Package fixture exercises the lock-order-cycle checker: two paths
+// acquiring the same locks in opposite orders.
+package fixture
+
+import "sync"
+
+var (
+	a sync.Mutex
+	b sync.Mutex
+)
+
+// lockAB takes a then b; lockBA takes b then a. Interleaved, each
+// holds the lock the other needs.
+func lockAB() {
+	a.Lock()
+	b.Lock() // want "lock-order cycle"
+	b.Unlock()
+	a.Unlock()
+}
+
+func lockBA() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+type pair struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+// lockXthenY inverts lockYthenX's order through a call: the y
+// acquisition is inside takeY, reached while x is held.
+func (p *pair) lockXthenY() {
+	p.x.Lock()
+	p.takeY() // want "lock-order cycle"
+	p.x.Unlock()
+}
+
+func (p *pair) takeY() {
+	p.y.Lock()
+	p.y.Unlock()
+}
+
+func (p *pair) lockYthenX() {
+	p.y.Lock()
+	p.x.Lock()
+	p.x.Unlock()
+	p.y.Unlock()
+}
+
+var (
+	m1 sync.Mutex
+	m2 sync.Mutex
+)
+
+// ordered1/ordered2 both take m1 before m2: one consistent order, no
+// cycle, no finding.
+func ordered1() {
+	m1.Lock()
+	m2.Lock()
+	m2.Unlock()
+	m1.Unlock()
+}
+
+func ordered2() {
+	m1.Lock()
+	m2.Lock()
+	m2.Unlock()
+	m1.Unlock()
+}

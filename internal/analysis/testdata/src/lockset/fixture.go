@@ -1,0 +1,116 @@
+// Package fixture exercises the lockset engine (lockset.go): region
+// pairing, entry-lockset propagation, may-acquire summaries, and the
+// lock-order graph. It is read by lockset_test.go, not by a checker.
+package fixture
+
+import "sync"
+
+var (
+	gmu  sync.Mutex
+	gmu2 sync.Mutex
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// paired: the region closes at the positional Unlock.
+func (b *box) paired() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.n--
+}
+
+// deferred: the region runs to the body end.
+func (b *box) deferred() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// reads: an RLock region.
+func (b *box) reads() {
+	b.rw.RLock()
+	b.n++
+	b.rw.RUnlock()
+}
+
+// helper is only ever called under b.mu: its entry lockset is {mu}.
+func (b *box) caller() {
+	b.mu.Lock()
+	b.helper()
+	b.mu.Unlock()
+}
+
+func (b *box) helper() {
+	b.n++
+}
+
+// Exported functions never trust in-package callers: entry is empty.
+func (b *box) callsExported() {
+	b.mu.Lock()
+	b.Exported()
+	b.mu.Unlock()
+}
+
+func (b *box) Exported() {}
+
+// A goroutine runs concurrently with its spawner's locks: entry empty.
+func (b *box) spawns() {
+	b.mu.Lock()
+	go b.child()
+	b.mu.Unlock()
+}
+
+func (b *box) child() {}
+
+// shared has one caller holding the lock and one not: the must-hold
+// intersection is empty.
+func (b *box) mixedA() {
+	b.mu.Lock()
+	b.shared()
+	b.mu.Unlock()
+}
+
+func (b *box) mixedB() {
+	b.shared()
+}
+
+func (b *box) shared() {}
+
+// orderOuter acquires gmu then reaches b.mu through takeMu: one order
+// edge through a call.
+func (b *box) orderOuter() {
+	gmu.Lock()
+	b.takeMu()
+	gmu.Unlock()
+}
+
+func (b *box) takeMu() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// spawnsLocker launches takeMu: the spawned acquisition must NOT leak
+// into the spawner's may-acquire summary.
+func (b *box) spawnsLocker() {
+	go b.takeMu()
+}
+
+// cycA/cycB invert each other's order: the engine's one cycle.
+func cycA() {
+	gmu.Lock()
+	gmu2.Lock()
+	gmu2.Unlock()
+	gmu.Unlock()
+}
+
+func cycB() {
+	gmu2.Lock()
+	gmu.Lock()
+	gmu.Unlock()
+	gmu2.Unlock()
+}

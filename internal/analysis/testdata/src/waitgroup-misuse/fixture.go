@@ -1,0 +1,88 @@
+// Package fixture exercises the waitgroup-misuse checker: the three
+// WaitGroup protocol violations (Add after launch, skippable Done,
+// Wait under a worker-side lock).
+package fixture
+
+import "sync"
+
+func work() {}
+
+func mayBoom() {
+	panic("boom")
+}
+
+// AddInside increments the counter inside the goroutine: Wait can run
+// first, see zero, and return while work is in flight.
+func AddInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "inside the launched goroutine"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// DoneSkipped returns before the non-deferred Done on one path: the
+// counter stays high and Wait blocks forever.
+func DoneSkipped(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		it := it
+		go func() {
+			if it < 0 {
+				return
+			}
+			work()
+			wg.Done() // want "not deferred"
+		}()
+	}
+	wg.Wait()
+}
+
+// DonePanic calls a panicking helper before the non-deferred Done.
+func DonePanic() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		mayBoom()
+		wg.Done() // want "can panic"
+	}()
+	wg.Wait()
+}
+
+type pool struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+// Flush waits while holding the mutex every worker needs to finish.
+func (p *pool) Flush() {
+	p.wg.Add(1)
+	go p.worker()
+	p.mu.Lock()
+	p.wg.Wait() // want "held"
+	p.mu.Unlock()
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+// Proper is the correct protocol end to end: no findings.
+func Proper(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}

@@ -8,7 +8,10 @@
 # Then runs the serving-throughput pair (64 concurrent clients through
 # sequential batch-1 PredictOne vs the internal/serve coalescer) and
 # rewrites BENCH_serve.json, including the per-prediction rate and the
-# coalescing speedup ratio.
+# coalescing speedup ratio. Finally runs the prionnvet analysis
+# benchmarks (full gate sweep plus the per-layer substrate breakdown:
+# def-use index, call graph, lockset engine) and rewrites
+# BENCH_analysis.json.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 1s; pass e.g. 1x for a
 # smoke run that only checks the benchmarks still execute)
@@ -24,15 +27,17 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 serve_tmp="$(mktemp)"
-trap 'rm -f "$tmp" "$serve_tmp"' EXIT
+analysis_tmp="$(mktemp)"
+trap 'rm -f "$tmp" "$serve_tmp" "$analysis_tmp"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime="$benchtime" . | tee "$tmp"
 go test -run '^$' -bench '^BenchmarkServe' -benchmem -benchtime="$benchtime" ./internal/serve/ | tee "$serve_tmp"
+go test -run '^$' -bench '^(BenchmarkPrionnvetRunAll$|BenchmarkAnalysisRepoWide)' -benchmem -benchtime="$benchtime" . | tee "$analysis_tmp"
 
 # Only rewrite the committed snapshots on real timing runs; -benchtime=1x
 # numbers are startup noise.
 if [ "$benchtime" = "1x" ]; then
-    echo "smoke run: BENCH_kernels.json and BENCH_serve.json left untouched"
+    echo "smoke run: BENCH_kernels.json, BENCH_serve.json, and BENCH_analysis.json left untouched"
     exit 0
 fi
 
@@ -83,3 +88,24 @@ END {
 ' "$serve_tmp" > BENCH_serve.json
 
 echo "wrote BENCH_serve.json"
+
+# BENCH_analysis.json: the full gate sweep (every checker over every
+# package) plus the per-layer substrate costs. Sub-benchmark names like
+# BenchmarkAnalysisRepoWide/lockset keep their slash-separated form.
+awk '
+BEGIN { print "{"; sep = "" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = "null"; allocs = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    printf "%s  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}", sep, name, ns, allocs
+    sep = ",\n"
+}
+END { print "\n}" }
+' "$analysis_tmp" > BENCH_analysis.json
+
+echo "wrote BENCH_analysis.json"

@@ -18,72 +18,97 @@
 #                      == single bitwise, bounded-queue overload,
 #                      graceful drain — rerun under the race detector
 #                      with concurrent Predict+Swap)
-#   9. bench smoke    (one iteration of each kernel and serving
-#                      benchmark via scripts/bench.sh 1x; real timings
-#                      are recorded separately into BENCH_kernels.json
-#                      and BENCH_serve.json)
+#   9. bench smoke    (one iteration of each kernel, serving, and
+#                      analysis benchmark via scripts/bench.sh 1x; real
+#                      timings are recorded separately into
+#                      BENCH_kernels.json, BENCH_serve.json, and
+#                      BENCH_analysis.json)
 #  10. go test -fuzz  (short smoke run of each fuzz target: the mapping
 #                      crop/pad grid, the feature-directive parser, and
 #                      corrupt-checkpoint loading)
 #
-# Exits nonzero on the first failure. No Makefile on purpose: this file
-# is the single committed description of the gate, invoked directly by
-# CI (.github/workflows/ci.yml) and by hand before sending a PR.
+# Each step reports its wall-clock seconds on completion, so a slow
+# gate points at its own bottleneck. Exits nonzero on the first
+# failure. No Makefile on purpose: this file is the single committed
+# description of the gate, invoked directly by CI
+# (.github/workflows/ci.yml) and by hand before sending a PR.
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
+# step NAME starts a named, timed gate step; step_done prints the
+# step's elapsed wall-clock seconds. A step that fails exits (set -e)
+# before step_done, so timings only appear for steps that passed.
+step() {
+    step_name="$1"
+    step_t0=$(date +%s)
+    echo "== $step_name"
+}
+step_done() {
+    echo "-- $step_name: $(($(date +%s) - step_t0))s"
+}
+
+step "gofmt"
 fmt_out=$(gofmt -l .)
 if [ -n "$fmt_out" ]; then
     echo "gofmt needs to be run on:" >&2
     echo "$fmt_out" >&2
     exit 1
 fi
+step_done
 
-echo "== go vet ./..."
+step "go vet ./..."
 go vet ./...
+step_done
 
-echo "== go build ./..."
+step "go build ./..."
 go build ./...
+step_done
 
-echo "== prionnvet ./..."
+step "prionnvet ./..."
 go run ./cmd/prionnvet ./...
+step_done
 
-echo "== go test ./..."
+step "go test ./..."
 go test ./...
+step_done
 
-echo "== go test -race ./..."
+step "go test -race ./..."
 go test -race ./...
+step_done
 
 # Crash matrix: rerun the fault-injection sweep explicitly (it is part
 # of the suite above, but a -run filter here keeps it visible as its own
 # gate and guards against the tests being skipped or renamed away).
-echo "== crash matrix (fault injection)"
+step "crash matrix (fault injection)"
 go test -count=1 -run 'TestSaveFileCrashMatrix|TestOnlineRetrainCrashRecovery|TestInterruptResumeBitwiseIdentical' ./internal/prionn/
+step_done
 
 # Serving gate: the coalescer's contract tests, explicitly and under
 # the race detector (they also run in the suite above; the -run filter
 # keeps serving correctness visible as its own gate and guards against
 # the tests being renamed away).
-echo "== serving gate (coalescing / overload / drain, -race)"
+step "serving gate (coalescing / overload / drain, -race)"
 go test -race -count=1 -run 'TestServeBatchedBitwiseIdenticalToSingle|TestServeOverloadBoundedQueue|TestServeGracefulDrainNoDrops|TestServeConcurrentPredictSwap' ./internal/serve/
+step_done
 
-# Benchmark smoke: one iteration of each kernel and serving benchmark
-# proves the perf-trajectory harness still runs; timings come from
-# scripts/bench.sh.
-echo "== benchmark smoke (1 iteration)"
+# Benchmark smoke: one iteration of each kernel, serving, and analysis
+# benchmark proves the perf-trajectory harness still runs; timings come
+# from scripts/bench.sh.
+step "benchmark smoke (1 iteration)"
 sh scripts/bench.sh 1x > /dev/null
+step_done
 
 # Fuzz smoke runs: a few seconds per target keeps the gate fast while
 # still exercising the engine-generated corpus. One package per
 # invocation — the fuzzer requires it.
-echo "== go test -fuzz (smoke)"
+step "go test -fuzz (smoke)"
 go test -fuzz=FuzzStandardize -fuzztime=3s -run='^$' ./internal/mapping/
 go test -fuzz=FuzzMapScript -fuzztime=3s -run='^$' ./internal/mapping/
 go test -fuzz=FuzzExtract -fuzztime=3s -run='^$' ./internal/features/
 go test -fuzz=FuzzSplitDirective -fuzztime=3s -run='^$' ./internal/features/
 go test -fuzz=FuzzLoadPredictor -fuzztime=3s -run='^$' ./internal/prionn/
+step_done
 
 echo "all checks passed"
