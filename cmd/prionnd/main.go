@@ -10,24 +10,39 @@
 //	prionnd -jobs 2000 -scale fast -addr :8356   # train on a synthetic trace, then serve
 //	prionnd -load model.ckpt -addr :8356         # serve a model saved by cmd/prionn
 //	prionnd -demo 5000 -clients 64               # in-process throughput demo, no HTTP
+//	prionnd -replicas 4 -policy affinity ...     # fault-tolerant multi-replica cluster
+//
+// With -replicas N > 1 the daemon serves from an internal/cluster of N
+// replicated coalescers behind a health-checked router: budgeted
+// retries, per-replica circuit breakers, optional hedging (-hedge), a
+// script-affinity prediction cache (-cache), and graceful degradation —
+// when no replica can answer, /predict returns the request's own
+// requested runtime with "degraded": true instead of an error.
 //
 // Endpoints:
 //
 //	POST /predict  {"script": "...", "input_deck": "...", "requested_min": 60}
 //	               → {"runtime_min": 57, "read_bytes": ..., "write_bytes": ...,
 //	                  "read_bw": ..., "write_bw": ..., "from_model": true}
-//	               503 with a text body when the admission queue is full.
+//	               503 with a text body when the admission queue is full;
+//	               504 when -request-timeout expires (single-replica mode).
 //	GET  /stats    → JSON serving counters (queue depth, batch-size
-//	               histogram, per-stage latency, predictions served).
-//	GET  /healthz  → 200 ok
+//	               histogram, per-stage latency, predictions served; in
+//	               cluster mode: retries, hedges, cache hit rate, and a
+//	               per-replica breakdown with breaker states).
+//	GET  /healthz  → 200 ok (liveness: the process is up)
+//	GET  /readyz   → 200 ready, or 503 once draining has begun — and, under
+//	               -no-fallback, until a trained snapshot is published.
 //
 // Until the first training event has been published, predictions fall
 // back to the request's user-requested runtime ("from_model": false) —
-// the daemon never emits forward passes of untrained weights.
+// the daemon never emits forward passes of untrained weights. -jobs 0
+// skips initial training entirely and starts a fallback-only daemon.
 //
-// SIGINT/SIGTERM drain gracefully: admission stops, queued requests are
-// answered, then the process exits, printing a final stats snapshot
-// when -stats is set.
+// SIGINT/SIGTERM drain gracefully: /readyz flips to 503, -drain-grace
+// elapses (so load balancers observe the flip), admission stops, queued
+// requests are answered, then the process exits, printing a final stats
+// snapshot when -stats is set.
 package main
 
 import (
@@ -46,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"prionn/internal/cluster"
 	"prionn/internal/prionn"
 	"prionn/internal/serve"
 	"prionn/internal/trace"
@@ -71,20 +87,62 @@ type predictResponse struct {
 	WriteBW    float64 `json:"write_bw"`
 	PowerW     float64 `json:"power_w,omitempty"`
 	FromModel  bool    `json:"from_model"`
+
+	// Cluster-mode fields: Degraded marks a requested-runtime fallback
+	// served because no replica could answer; Cached marks a prediction
+	// served from the memoizing cache; Replica identifies the answering
+	// replica.
+	Degraded bool `json:"degraded,omitempty"`
+	Cached   bool `json:"cached,omitempty"`
+	Replica  *int `json:"replica,omitempty"`
 }
 
+// engine abstracts the two serving backends — a single coalescing
+// server or a replicated cluster — behind the daemon front end (HTTP
+// handlers and the -demo driver).
+type engine interface {
+	Predict(ctx context.Context, req serve.Request) (cluster.Response, error)
+	Stop(ctx context.Context) error
+	// StatsJSON is marshaled for GET /stats; StatsText is the block the
+	// -stats ticker and the shutdown path print.
+	StatsJSON() any
+	StatsText() string
+}
+
+// singleEngine serves from one coalescing server (the -replicas 1
+// default, wire- and stats-compatible with earlier daemons).
+type singleEngine struct{ srv *serve.Server }
+
+func (e *singleEngine) Predict(ctx context.Context, req serve.Request) (cluster.Response, error) {
+	resp, err := e.srv.Predict(ctx, req)
+	return cluster.Response{Pred: resp.Pred, FromModel: resp.FromModel, Replica: -1}, err
+}
+func (e *singleEngine) Stop(ctx context.Context) error { return e.srv.Stop(ctx) }
+func (e *singleEngine) StatsJSON() any                 { return e.srv.Stats() }
+func (e *singleEngine) StatsText() string              { return e.srv.Stats().String() }
+
+// clusterEngine serves from a replicated cluster.
+type clusterEngine struct{ cl *cluster.Cluster }
+
+func (e *clusterEngine) Predict(ctx context.Context, req serve.Request) (cluster.Response, error) {
+	return e.cl.Predict(ctx, req)
+}
+func (e *clusterEngine) Stop(ctx context.Context) error { return e.cl.Stop(ctx) }
+func (e *clusterEngine) StatsJSON() any                 { return e.cl.Stats() }
+func (e *clusterEngine) StatsText() string              { return e.cl.Stats().String() }
+
 // run is the testable body of main: parse argv, build the model and
-// server, and either run the in-process demo or serve HTTP until a
-// signal (or ready-callback-driven shutdown in tests). ready, when
-// non-nil, receives the bound listen address once the HTTP server
-// accepts connections; closing the returned stop function initiates
-// the same graceful drain a SIGINT would.
+// serving engine, and either run the in-process demo or serve HTTP
+// until a signal (or ready-callback-driven shutdown in tests). ready,
+// when non-nil, receives the bound listen address once the HTTP server
+// accepts connections; the stop function it is handed initiates the
+// same graceful drain a SIGINT would.
 func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop func())) int {
 	fs := flag.NewFlagSet("prionnd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 
 	addr := fs.String("addr", ":8356", "HTTP listen address")
-	jobs := fs.Int("jobs", 2000, "synthetic trace length for initial training")
+	jobs := fs.Int("jobs", 2000, "synthetic trace length for initial training (0: skip training, serve fallback only)")
 	seed := fs.Int64("seed", 1, "seed for trace and model")
 	scale := fs.String("scale", "fast", "model scale: tiny, fast, paper")
 	load := fs.String("load", "", "serve a model checkpoint instead of training")
@@ -94,6 +152,14 @@ func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop f
 	statsEvery := fs.Duration("stats", 0, "print serving stats at this interval (0: only at shutdown)")
 	demo := fs.Int("demo", 0, "serve this many in-process requests from -clients goroutines, print throughput, exit")
 	clients := fs.Int("clients", 64, "concurrent clients for -demo")
+
+	replicas := fs.Int("replicas", 1, "serving replicas; >1 enables the fault-tolerant cluster")
+	policy := fs.String("policy", "affinity", "cluster routing policy: round-robin, least-loaded, affinity")
+	cacheSize := fs.Int("cache", 4096, "cluster prediction-cache entries per run (0: disable)")
+	hedge := fs.Float64("hedge", 0, "cluster hedging percentile in (0,1), e.g. 0.95 (0: disable)")
+	reqTimeout := fs.Duration("request-timeout", 5*time.Second, "per-request deadline for /predict (0: none); in cluster mode expiry degrades to the requested runtime, in single mode it returns 504")
+	drainGrace := fs.Duration("drain-grace", 0, "pause between flipping /readyz to 503 and closing admission, so load balancers drain first")
+	noFallback := fs.Bool("no-fallback", false, "report not-ready on /readyz until a trained snapshot is published")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -107,24 +173,59 @@ func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop f
 		return 1
 	}
 
-	srv := serve.New(view, serve.Config{
+	serveCfg := serve.Config{
 		MaxBatch:   *maxBatch,
 		MaxDelay:   *maxDelay,
 		QueueDepth: *queueDepth,
-	})
+	}
+	var eng engine
+	if *replicas > 1 {
+		pol, err := cluster.ParsePolicy(*policy)
+		if err != nil {
+			logf("%v", err)
+			return 1
+		}
+		cl, err := cluster.New(view, cluster.Config{
+			Replicas:        *replicas,
+			Serve:           serveCfg,
+			Policy:          pol,
+			RequestTimeout:  *reqTimeout,
+			HedgePercentile: *hedge,
+			CacheSize:       *cacheSize,
+			Seed:            *seed,
+		})
+		if err != nil {
+			logf("%v", err)
+			return 1
+		}
+		logf("cluster: %d replicas, %s routing", *replicas, pol)
+		eng = &clusterEngine{cl}
+	} else {
+		eng = &singleEngine{serve.New(view, serveCfg)}
+	}
 
 	if *demo > 0 {
-		code := runDemo(srv, all, *demo, *clients, stdout, logf)
-		_ = srv.Stop(context.Background())
-		_, _ = fmt.Fprint(stdout, srv.Stats().String())
+		code := runDemo(eng, all, *demo, *clients, stdout, logf)
+		_ = eng.Stop(context.Background())
+		_, _ = fmt.Fprint(stdout, eng.StatsText())
 		return code
 	}
-	return serveHTTP(srv, *addr, *statsEvery, stdout, logf, ready)
+	d := &daemon{
+		eng:         eng,
+		clusterMode: *replicas > 1,
+		hasSnapshot: view != nil,
+		noFallback:  *noFallback,
+		reqTimeout:  *reqTimeout,
+		drainGrace:  *drainGrace,
+	}
+	return d.serveHTTP(*addr, *statsEvery, stdout, logf, ready)
 }
 
 // buildSnapshot loads or trains a predictor and returns its published
 // inference snapshot plus the synthetic trace (for -demo request
-// generation).
+// generation). With -jobs 0 and no checkpoint it returns a nil view:
+// the daemon serves the requested-runtime fallback until a snapshot
+// exists.
 func buildSnapshot(load, scale string, seed int64, jobs int, logf func(string, ...interface{})) (*prionn.Inference, []trace.Job, error) {
 	all := trace.Generate(trace.Config{Seed: seed, Jobs: jobs})
 	var p *prionn.Predictor
@@ -146,6 +247,10 @@ func buildSnapshot(load, scale string, seed int64, jobs int, logf func(string, .
 			cfg = prionn.DefaultConfig()
 		default:
 			return nil, nil, fmt.Errorf("unknown scale %q (tiny, fast, paper)", scale)
+		}
+		if jobs <= 0 {
+			logf("no initial training (-jobs 0): serving the requested-runtime fallback")
+			return nil, all, nil
 		}
 		cfg.Seed = seed
 		completed := trace.Completed(all)
@@ -174,9 +279,9 @@ func buildSnapshot(load, scale string, seed int64, jobs int, logf func(string, .
 	return view, all, nil
 }
 
-// runDemo drives the server with in-process concurrent clients and
+// runDemo drives the engine with in-process concurrent clients and
 // reports end-to-end serving throughput.
-func runDemo(srv *serve.Server, all []trace.Job, total, clients int, stdout io.Writer, logf func(string, ...interface{})) int {
+func runDemo(eng engine, all []trace.Job, total, clients int, stdout io.Writer, logf func(string, ...interface{})) int {
 	if clients < 1 {
 		clients = 1
 	}
@@ -186,7 +291,7 @@ func runDemo(srv *serve.Server, all []trace.Job, total, clients int, stdout io.W
 		return 1
 	}
 	logf("demo: %d requests from %d concurrent clients", total, clients)
-	var served, fellBack, failed atomic.Int64
+	var served, fellBack, degraded, failed atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -200,7 +305,7 @@ func runDemo(srv *serve.Server, all []trace.Job, total, clients int, stdout io.W
 					return
 				}
 				j := completed[int(i)%len(completed)]
-				resp, err := srv.Predict(context.Background(), serve.Request{
+				resp, err := eng.Predict(context.Background(), serve.Request{
 					Script:       j.Script,
 					InputDeck:    j.InputDeck,
 					RequestedMin: j.RequestedMin,
@@ -213,6 +318,8 @@ func runDemo(srv *serve.Server, all []trace.Job, total, clients int, stdout io.W
 					next.Add(-1)
 				case err != nil:
 					failed.Add(1)
+				case resp.Degraded:
+					degraded.Add(1)
 				case resp.FromModel:
 					served.Add(1)
 				default:
@@ -223,55 +330,55 @@ func runDemo(srv *serve.Server, all []trace.Job, total, clients int, stdout io.W
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	rate := float64(served.Load()+fellBack.Load()) / elapsed.Seconds()
-	_, _ = fmt.Fprintf(stdout, "demo: %d predictions in %v (%.0f predictions/sec), %d fallback, %d failed\n",
-		served.Load()+fellBack.Load(), elapsed.Round(time.Millisecond), rate, fellBack.Load(), failed.Load())
+	answered := served.Load() + fellBack.Load() + degraded.Load()
+	rate := float64(answered) / elapsed.Seconds()
+	_, _ = fmt.Fprintf(stdout, "demo: %d predictions in %v (%.0f predictions/sec), %d fallback, %d degraded, %d failed\n",
+		answered, elapsed.Round(time.Millisecond), rate, fellBack.Load(), degraded.Load(), failed.Load())
 	if failed.Load() > 0 {
 		return 1
 	}
 	return 0
 }
 
+// daemon is the HTTP front end's state: the serving engine plus the
+// readiness knobs the handlers consult.
+type daemon struct {
+	eng         engine
+	clusterMode bool
+	hasSnapshot bool
+	noFallback  bool
+	reqTimeout  time.Duration
+	drainGrace  time.Duration
+
+	// draining flips once shutdown begins; /readyz reports 503 from then
+	// on while /healthz (liveness) stays 200 until the process exits.
+	draining atomic.Bool
+}
+
 // serveHTTP runs the HTTP front end until SIGINT/SIGTERM (or the
-// test-supplied stop function), then drains the coalescer.
-func serveHTTP(srv *serve.Server, addr string, statsEvery time.Duration, stdout io.Writer, logf func(string, ...interface{}), ready func(addr string, stop func())) int {
+// test-supplied stop function), then drains: readiness flips, the
+// drain grace elapses, in-flight handlers finish, the engine stops.
+func (d *daemon) serveHTTP(addr string, statsEvery time.Duration, stdout io.Writer, logf func(string, ...interface{}), ready func(addr string, stop func())) int {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
-		var req predictRequest
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		resp, err := srv.Predict(r.Context(), serve.Request{
-			Script:       req.Script,
-			InputDeck:    req.InputDeck,
-			RequestedMin: req.RequestedMin,
-		})
-		switch {
-		case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrStopped):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(predictResponse{
-			RuntimeMin: resp.Pred.RuntimeMin,
-			ReadBytes:  resp.Pred.ReadBytes,
-			WriteBytes: resp.Pred.WriteBytes,
-			ReadBW:     resp.Pred.ReadBW(),
-			WriteBW:    resp.Pred.WriteBW(),
-			PowerW:     resp.Pred.PowerW,
-			FromModel:  resp.FromModel,
-		})
-	})
+	mux.HandleFunc("POST /predict", d.handlePredict)
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(srv.Stats())
+		_ = json.NewEncoder(w).Encode(d.eng.StatsJSON())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: the process is up and the mux is answering. Do
+		// not add readiness conditions here — a draining daemon is alive.
 		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case d.draining.Load():
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case d.noFallback && !d.hasSnapshot:
+			http.Error(w, "no trained snapshot published", http.StatusServiceUnavailable)
+		default:
+			_, _ = io.WriteString(w, "ready\n")
+		}
 	})
 
 	ln, err := net.Listen("tcp", addr)
@@ -279,7 +386,23 @@ func serveHTTP(srv *serve.Server, addr string, statsEvery time.Duration, stdout 
 		logf("%v", err)
 		return 1
 	}
-	hs := &http.Server{Handler: mux}
+	// Every timeout here exists to bound a resource a slow or hostile
+	// client could otherwise hold forever: header trickling (slowloris),
+	// body trickling, a reader that never drains the response, and idle
+	// keep-alive connections. WriteTimeout must exceed the /predict
+	// deadline or the server would cut off legitimately slow responses
+	// before the handler's own timeout fires.
+	writeTimeout := 30 * time.Second
+	if d.reqTimeout > 0 && d.reqTimeout+5*time.Second > writeTimeout {
+		writeTimeout = d.reqTimeout + 5*time.Second
+	}
+	hs := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -308,7 +431,7 @@ loop:
 	for {
 		select {
 		case <-tick:
-			_, _ = fmt.Fprint(stdout, srv.Stats().String())
+			_, _ = fmt.Fprint(stdout, d.eng.StatsText())
 		case sig := <-sigCh:
 			logf("received %v, draining...", sig)
 			break loop
@@ -324,16 +447,74 @@ loop:
 		}
 	}
 
+	// Drain ladder: advertise not-ready first, give load balancers the
+	// grace window to act on it, then stop accepting and drain.
+	d.draining.Store(true)
+	if d.drainGrace > 0 {
+		time.Sleep(d.drainGrace)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		logf("http shutdown: %v", err)
 		code = 1
 	}
-	if err := srv.Stop(shutdownCtx); err != nil {
+	if err := d.eng.Stop(shutdownCtx); err != nil {
 		logf("drain: %v", err)
 		code = 1
 	}
-	_, _ = fmt.Fprint(stdout, srv.Stats().String())
+	_, _ = fmt.Fprint(stdout, d.eng.StatsText())
 	return code
+}
+
+// handlePredict answers POST /predict through the engine. In single
+// mode the -request-timeout deadline is applied here and maps to 504;
+// in cluster mode the cluster owns the deadline and expiry degrades to
+// the requested-runtime fallback instead.
+func (d *daemon) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if d.reqTimeout > 0 && !d.clusterMode {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.reqTimeout)
+		defer cancel()
+	}
+	resp, err := d.eng.Predict(ctx, serve.Request{
+		Script:       req.Script,
+		InputDeck:    req.InputDeck,
+		RequestedMin: req.RequestedMin,
+	})
+	switch {
+	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrStopped):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+		// Our own per-request deadline, not the client hanging up.
+		http.Error(w, "prediction deadline exceeded", http.StatusGatewayTimeout)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := predictResponse{
+		RuntimeMin: resp.Pred.RuntimeMin,
+		ReadBytes:  resp.Pred.ReadBytes,
+		WriteBytes: resp.Pred.WriteBytes,
+		ReadBW:     resp.Pred.ReadBW(),
+		WriteBW:    resp.Pred.WriteBW(),
+		PowerW:     resp.Pred.PowerW,
+		FromModel:  resp.FromModel,
+		Degraded:   resp.Degraded,
+		Cached:     resp.Cached,
+	}
+	if d.clusterMode && resp.Replica >= 0 {
+		id := resp.Replica
+		out.Replica = &id
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }

@@ -8,6 +8,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"prionn/internal/fault"
+	"prionn/internal/serve"
 )
 
 // demoArgs keeps the daemon tests fast: tiny model, short trace.
@@ -148,4 +151,244 @@ func TestRunLoadMissingCheckpoint(t *testing.T) {
 	if code := run([]string{"-load", t.TempDir() + "/nope.ckpt", "-demo", "1"}, &stdout, &stderr, nil); code != 1 {
 		t.Fatalf("missing checkpoint: exit %d, want 1", code)
 	}
+}
+
+// TestRunDemoCluster runs the in-process demo through the replicated
+// cluster engine: all requests answered from the model, none failed,
+// and the cluster stats block (with per-replica lines) is printed.
+func TestRunDemoCluster(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(demoArgs("-demo", "300", "-clients", "16", "-max-batch", "16",
+		"-replicas", "3", "-policy", "affinity", "-cache", "512"), &stdout, &stderr, nil)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "0 degraded, 0 failed") {
+		t.Fatalf("cluster demo must answer everything from the model:\n%s", out)
+	}
+	if !strings.Contains(out, "replica 0") || !strings.Contains(out, "replica 2") {
+		t.Fatalf("cluster stats block missing per-replica lines:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "cluster: 3 replicas, affinity routing") {
+		t.Fatalf("stderr missing cluster banner: %s", stderr.String())
+	}
+}
+
+// TestRunHTTPCluster boots a 2-replica daemon, checks /readyz before
+// and during the drain, predicts through the cluster (the reply carries
+// the answering replica), and reads the cluster-shaped /stats.
+func TestRunHTTPCluster(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	type started struct {
+		addr string
+		stop func()
+	}
+	readyCh := make(chan started, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var code int
+	go func() {
+		defer wg.Done()
+		code = run(demoArgs("-addr", "127.0.0.1:0", "-replicas", "2", "-cache", "64"),
+			&stdout, &stderr, func(addr string, stop func()) { readyCh <- started{addr, stop} })
+	}()
+
+	var st started
+	select {
+	case st = <-readyCh:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon did not come up")
+	}
+	base := "http://" + st.addr
+
+	rz, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d before drain, want 200", rz.StatusCode)
+	}
+
+	body, _ := json.Marshal(predictRequest{
+		Script:       "#!/bin/bash\nsrun ./lulesh.exe -s 32\n",
+		RequestedMin: 120,
+	})
+	// Twice: the second identical request should be a cache hit from the
+	// same home replica.
+	var first, second predictResponse
+	for i, dst := range []*predictResponse{&first, &second} {
+		post, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if post.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d status %d", i, post.StatusCode)
+		}
+		if err := json.NewDecoder(post.Body).Decode(dst); err != nil {
+			t.Fatal(err)
+		}
+		post.Body.Close()
+	}
+	if !first.FromModel || first.Degraded || first.Replica == nil {
+		t.Fatalf("first cluster reply: %+v", first)
+	}
+	if !second.Cached || second.RuntimeMin != first.RuntimeMin || *second.Replica != *first.Replica {
+		t.Fatalf("second identical request should be a cache hit on the same replica: %+v vs %+v", second, first)
+	}
+
+	stats, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]interface{}
+	if err := json.NewDecoder(stats.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	stats.Body.Close()
+	reps, ok := snap["replicas"].([]interface{})
+	if !ok || len(reps) != 2 {
+		t.Fatalf("cluster /stats must carry 2 replica snapshots: %v", snap["replicas"])
+	}
+	if hits, ok := snap["cache_hits"].(float64); !ok || hits < 1 {
+		t.Fatalf("cluster /stats cache_hits = %v, want >= 1", snap["cache_hits"])
+	}
+
+	st.stop()
+	wg.Wait()
+	if code != 0 {
+		t.Fatalf("daemon exit %d\nstderr: %s", code, stderr.String())
+	}
+}
+
+// TestRunHTTPReadinessDrain pins the liveness/readiness split across a
+// graceful drain: a -drain-grace window keeps the mux up after the stop
+// signal, during which /readyz reports 503 while /healthz stays 200.
+func TestRunHTTPReadinessDrain(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	type started struct {
+		addr string
+		stop func()
+	}
+	readyCh := make(chan started, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		run(demoArgs("-addr", "127.0.0.1:0", "-drain-grace", "300ms"),
+			&stdout, &stderr, func(addr string, stop func()) { readyCh <- started{addr, stop} })
+	}()
+	st := <-readyCh
+	base := "http://" + st.addr
+
+	st.stop()
+	// Inside the grace window the daemon is alive but not ready.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rz, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatalf("readyz during grace window: %v", err)
+		}
+		rz.Body.Close()
+		if rz.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 after stop")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz during grace window: %v", err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d during drain, want 200 (liveness is not readiness)", hz.StatusCode)
+	}
+	wg.Wait()
+}
+
+// TestRunHTTPNoFallbackNotReady: -jobs 0 serves fallback-only; under
+// -no-fallback the daemon reports not-ready while /predict still
+// answers with the requested runtime.
+func TestRunHTTPNoFallbackNotReady(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	type started struct {
+		addr string
+		stop func()
+	}
+	readyCh := make(chan started, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		run([]string{"-addr", "127.0.0.1:0", "-jobs", "0", "-no-fallback"},
+			&stdout, &stderr, func(addr string, stop func()) { readyCh <- started{addr, stop} })
+	}()
+	st := <-readyCh
+	base := "http://" + st.addr
+
+	rz, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("untrained -no-fallback daemon readyz status %d, want 503", rz.StatusCode)
+	}
+
+	body, _ := json.Marshal(predictRequest{Script: "x", RequestedMin: 42})
+	post, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(post.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if pr.FromModel || pr.RuntimeMin != 42 {
+		t.Fatalf("untrained daemon must echo the requested runtime: %+v", pr)
+	}
+	st.stop()
+	wg.Wait()
+}
+
+// TestRunHTTPRequestTimeout504: in single mode an expired
+// -request-timeout surfaces as 504 Gateway Timeout, distinguishing the
+// server's own deadline from client disconnects.
+func TestRunHTTPRequestTimeout504(t *testing.T) {
+	defer fault.DisarmAll()
+	var stdout, stderr bytes.Buffer
+	type started struct {
+		addr string
+		stop func()
+	}
+	readyCh := make(chan started, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		run(demoArgs("-addr", "127.0.0.1:0", "-request-timeout", "30ms"),
+			&stdout, &stderr, func(addr string, stop func()) { readyCh <- started{addr, stop} })
+	}()
+	st := <-readyCh
+	base := "http://" + st.addr
+
+	// Stall the flush path past the request timeout.
+	fault.Arm(serve.FailpointFlush, fault.Failure{Sleep: 300 * time.Millisecond})
+	body, _ := json.Marshal(predictRequest{Script: "y", RequestedMin: 1})
+	post, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled predict status %d, want 504", post.StatusCode)
+	}
+	fault.DisarmAll()
+	st.stop()
+	wg.Wait()
 }

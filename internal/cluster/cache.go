@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"hash/fnv"
+
+	"prionn/internal/prionn"
+	"sync"
+)
+
+// predCache is a replica's memoizing prediction cache. The trace's
+// unique-script ratio is ~37%, so roughly two of three submissions
+// repeat a script the cluster has already predicted — and forwards are
+// deterministic, so a repeated (script, deck) pair under the same
+// snapshot has a bitwise-identical answer. Script-hash affinity routing
+// sends identical scripts to the same replica, which is what makes a
+// per-replica cache hot.
+//
+// Entries are tagged with the cluster snapshot version: Cluster.Swap
+// bumps the version and resets every cache, and a Put racing a swap is
+// dropped (its version no longer matches), so a stale prediction can
+// never outlive the snapshot that computed it.
+type predCache struct {
+	mu      sync.Mutex
+	cap     int
+	version int64
+	entries map[uint64]prionn.Prediction
+	order   []uint64 // FIFO eviction ring over entries' keys
+	next    int
+}
+
+func newPredCache(capacity int) *predCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &predCache{
+		cap:     capacity,
+		entries: make(map[uint64]prionn.Prediction, capacity),
+		order:   make([]uint64, 0, capacity),
+	}
+}
+
+// scriptKey hashes the model input identity (script + deck, separated
+// so concatenation ambiguity cannot alias two inputs).
+func scriptKey(script, deck string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(script))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(deck))
+	return h.Sum64()
+}
+
+// get returns the cached prediction for key under the given snapshot
+// version.
+func (c *predCache) get(key uint64, version int64) (prionn.Prediction, bool) {
+	if c == nil {
+		return prionn.Prediction{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version != version {
+		return prionn.Prediction{}, false
+	}
+	p, ok := c.entries[key]
+	return p, ok
+}
+
+// put stores a prediction computed under the given snapshot version.
+// If a swap bumped the cache's version since the forward ran, the entry
+// is dropped — never cached under the wrong snapshot.
+func (c *predCache) put(key uint64, version int64, p prionn.Prediction) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version != version {
+		return
+	}
+	if _, exists := c.entries[key]; exists {
+		return
+	}
+	if len(c.entries) >= c.cap {
+		// FIFO eviction: overwrite the oldest slot in the ring.
+		old := c.order[c.next]
+		delete(c.entries, old)
+		c.order[c.next] = key
+		c.next = (c.next + 1) % c.cap
+	} else {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = p
+}
+
+// invalidate clears the cache and installs the new snapshot version.
+func (c *predCache) invalidate(version int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version = version
+	clear(c.entries)
+	c.order = c.order[:0]
+	c.next = 0
+}
+
+// len returns the current entry count.
+func (c *predCache) size() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,743 @@
+// Package cluster shards PRIONN's serving layer across N replicas: it
+// runs N internal/serve coalescing servers — each owning a private
+// deep-copied model snapshot, so the single-goroutine forward
+// confinement holds per replica — behind a router with pluggable
+// policies, per-request deadlines, budgeted retries with jittered
+// exponential backoff, optional hedged requests past a latency
+// percentile, per-replica circuit breakers, active health checking,
+// and atomic cluster-wide snapshot replication.
+//
+// The design contract comes from the paper's deployment (§2.3):
+// predictions feed the scheduler at job-submission time, so a dead or
+// slow replica must degrade a prediction, never stall a submission.
+// Concretely, Predict returns an error only when the *caller's* context
+// dies; every infrastructure failure — replicas crashed, breakers open,
+// retry budget exhausted, per-request deadline exceeded — ends in the
+// requested-runtime fallback (Response.Degraded), the same answer the
+// paper's system gives before its first training event.
+//
+// The layer is proven by a chaos harness (chaos_test.go) driving
+// latency injection, error injection, and replica kill/restart through
+// fault.Arm/fault.Here failpoints mid-traffic, asserting that no
+// request is lost or double-answered, that breakers open and recover,
+// and that every model-path response stays bitwise-pure to exactly one
+// published snapshot.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prionn/internal/fault"
+	"prionn/internal/prionn"
+	"prionn/internal/serve"
+)
+
+// Request is one job to predict; it is exactly the serving layer's
+// request shape.
+type Request = serve.Request
+
+// Response is the cluster's answer for one request.
+type Response struct {
+	Pred prionn.Prediction
+	// FromModel is false when the prediction is the requested-runtime
+	// fallback (untrained snapshot, or Degraded).
+	FromModel bool
+	// Cached is true when the prediction came from the memoizing
+	// prediction cache instead of a forward pass.
+	Cached bool
+	// Degraded is true when the cluster could not obtain a model answer
+	// (every replica open/unhealthy/erroring, retry budget exhausted, or
+	// the per-request deadline expired) and answered from the
+	// requested-runtime fallback instead of erroring.
+	Degraded bool
+	// Replica is the id of the replica that answered (the cache's home
+	// replica for cached responses), or -1 for degraded responses.
+	Replica int
+}
+
+// Policy selects how the router spreads requests over replicas.
+type Policy int
+
+const (
+	// RoundRobin rotates over healthy replicas.
+	RoundRobin Policy = iota
+	// LeastLoaded prefers the replica with the fewest in-flight
+	// dispatches (ties broken by lowest id).
+	LeastLoaded
+	// ScriptAffinity routes by script hash, so identical scripts hit the
+	// same replica — and therefore its warm prediction cache shard.
+	ScriptAffinity
+)
+
+// ParsePolicy maps the CLI spellings to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "round-robin":
+		return RoundRobin, nil
+	case "least-loaded":
+		return LeastLoaded, nil
+	case "affinity":
+		return ScriptAffinity, nil
+	}
+	return 0, errors.New("cluster: unknown policy " + strconv.Quote(s) + " (round-robin, least-loaded, affinity)")
+}
+
+// String renders the CLI spelling.
+func (p Policy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case ScriptAffinity:
+		return "affinity"
+	}
+	return "round-robin"
+}
+
+// maxReplicas bounds the cluster size: the retry path tracks attempted
+// replicas in a 64-bit mask.
+const maxReplicas = 64
+
+// Failpoint names compiled into the cluster path; the chaos harness
+// arms them for latency injection (Sleep), error injection (Err), and
+// deterministic schedules (After).
+const (
+	// FailpointRoute fires in Predict before routing. An injected error
+	// here degrades the request to the fallback (the router itself
+	// failing must not stall a submission); Sleep injects admission
+	// latency.
+	FailpointRoute = "cluster/route"
+)
+
+// ReplicaFailpoint names the per-replica dispatch failpoint: it fires
+// in the dispatch path (and in the health prober) of exactly that
+// replica, so chaos schedules can take down replica 2 while 0, 1, and 3
+// keep serving.
+func ReplicaFailpoint(id int) string {
+	return "cluster/replica/" + strconv.Itoa(id)
+}
+
+// errReplicaDown is the dispatch error for a replica with no live
+// server (killed and not yet restarted).
+var errReplicaDown = errors.New("cluster: replica down")
+
+// healthProbeScript is the tiny request body the active health checker
+// submits; probes ride the normal serve path (admission, coalescing)
+// so they observe real serving health, and they always take the
+// requested-runtime fallback path on untrained snapshots.
+const healthProbeScript = "#!/bin/sh\n#cluster-health-probe\n"
+
+// Config tunes the cluster. The zero value of every field gets a
+// sensible default from withDefaults; Replicas defaults to 1.
+type Config struct {
+	// Replicas is the number of in-process serving replicas (1..64).
+	Replicas int
+	// Serve configures each replica's coalescing server.
+	Serve serve.Config
+	// Policy is the routing policy (default RoundRobin).
+	Policy Policy
+	// RequestTimeout is the per-request deadline. When it expires the
+	// request degrades to the requested-runtime fallback instead of
+	// erroring. 0 disables.
+	RequestTimeout time.Duration
+	// MaxAttempts bounds dispatch attempts per request, including the
+	// first (default 3).
+	MaxAttempts int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between attempts (default 500µs), capped at MaxBackoff (default
+	// 50ms).
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// RetryBudget caps cluster-wide retries at this fraction of requests
+	// (default 0.1), with MinRetries as an absolute floor (default 10).
+	RetryBudget float64
+	MinRetries  int
+	// HedgePercentile, when in (0,1), launches a hedged second attempt
+	// once the first has been in flight longer than this percentile of
+	// recent latencies. 0 disables hedging.
+	HedgePercentile float64
+	// Breaker tunes each replica's circuit breaker.
+	Breaker BreakerConfig
+	// HealthEvery is the active health-check interval: 0 means the
+	// 100ms default, negative disables active checking (replicas stay
+	// routable unless killed).
+	HealthEvery time.Duration
+	// HealthTimeout bounds one health probe (default 1s). Generous on
+	// purpose: probes ride the real serve path and queue behind live
+	// traffic, so a tight timeout reads congestion as death. The picker
+	// additionally fails open when the health filter alone would empty
+	// the pool.
+	HealthTimeout time.Duration
+	// CacheSize is the per-replica memoizing prediction cache capacity
+	// in entries; 0 disables caching. The cache is sharded by script
+	// hash: an entry lives on its script's home replica, which the
+	// ScriptAffinity policy routes to.
+	CacheSize int
+	// Seed seeds the backoff jitter stream (default 1).
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas > maxReplicas {
+		c.Replicas = maxReplicas
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * time.Microsecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 50 * time.Millisecond
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 0.1
+	}
+	if c.MinRetries <= 0 {
+		c.MinRetries = 10
+	}
+	if c.HealthEvery == 0 {
+		c.HealthEvery = 100 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// replica is one serving replica plus its routing state. The server
+// pointer is atomic because Kill/Restart replace it mid-traffic.
+type replica struct {
+	id  int
+	srv atomic.Pointer[serve.Server]
+
+	killed  atomic.Bool
+	healthy atomic.Bool
+
+	inflight atomic.Int64
+
+	br    *breaker
+	cache *predCache
+
+	dispatched atomic.Int64 // successful dispatches
+	failed     atomic.Int64 // failed dispatches (injected, stopped, overloaded)
+	cacheHits  atomic.Int64 // hits served from this replica's cache shard
+}
+
+// Cluster is N serving replicas behind a fault-tolerant router. Create
+// with New; all methods are safe for concurrent use.
+type Cluster struct {
+	cfg Config
+
+	replicas []*replica
+
+	// version counts published snapshots; cache entries are only valid
+	// under the version they were computed at. Bumped by Swap *after*
+	// every replica has the new snapshot (see Swap for the ordering
+	// argument).
+	version atomic.Int64
+	// view is the most recently published snapshot source; Restart
+	// clones it for the replacement replica.
+	view atomic.Pointer[prionn.Inference]
+
+	// ctl serializes the control plane (Swap, Kill, Restart) so a
+	// restart can never resurrect a replica on a stale snapshot.
+	ctl sync.Mutex
+
+	rr     atomic.Uint64 // round-robin cursor
+	jitter jitterSource
+	budget retryBudget
+	lat    latencyTracker
+
+	st clusterStats
+
+	healthStop chan struct{}
+	healthDone chan struct{}
+	stopOnce   sync.Once
+}
+
+// New builds the cluster: each replica gets its own serve.Server over a
+// private Clone of view (nil is allowed — every replica serves the
+// requested-runtime fallback until Swap publishes a trained snapshot),
+// and the active health checker starts unless disabled.
+func New(view *prionn.Inference, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:        cfg,
+		jitter:     jitterSource{seed: uint64(cfg.Seed)},
+		budget:     retryBudget{ratio: cfg.RetryBudget, minRetries: int64(cfg.MinRetries)},
+		lat:        latencyTracker{pct: cfg.HedgePercentile},
+		healthStop: make(chan struct{}),
+		healthDone: make(chan struct{}),
+	}
+	if view != nil {
+		c.view.Store(view)
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		r := &replica{
+			id:    i,
+			br:    newBreaker(cfg.Breaker),
+			cache: newPredCache(cfg.CacheSize),
+		}
+		r.healthy.Store(true)
+		v, err := cloneView(view)
+		if err != nil {
+			return nil, err
+		}
+		r.srv.Store(serve.New(v, cfg.Serve))
+		c.replicas = append(c.replicas, r)
+	}
+	if cfg.HealthEvery > 0 {
+		//prionnvet:ignore naked-goroutine -- joined via c.healthDone, closed by healthLoop and received in Stop
+		go c.healthLoop()
+	} else {
+		close(c.healthDone)
+	}
+	return c, nil
+}
+
+// cloneView deep-copies a snapshot (nil stays nil).
+func cloneView(v *prionn.Inference) (*prionn.Inference, error) {
+	if v == nil {
+		return nil, nil
+	}
+	return v.Clone()
+}
+
+// Replicas returns the cluster size.
+func (c *Cluster) Replicas() int { return len(c.replicas) }
+
+// Predict answers one job-submission prediction. It routes to a
+// replica by policy, memoizes deterministic model answers, retries
+// transient failures within the retry budget, optionally hedges slow
+// attempts, and — when no replica can answer — degrades to the
+// requested-runtime fallback. The only error it returns is the
+// caller's own context error; infrastructure failure never stalls a
+// submission.
+func (c *Cluster) Predict(ctx context.Context, req Request) (Response, error) {
+	c.st.requests.Add(1)
+	c.budget.request()
+	if err := fault.Here(FailpointRoute); err != nil {
+		c.st.routeFaults.Add(1)
+		return c.degrade(req), nil
+	}
+
+	parent := ctx
+	if c.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	key := scriptKey(req.Script, req.InputDeck)
+	ver := c.version.Load()
+	if home := c.home(key); home.cache != nil {
+		if pred, ok := home.cache.get(key, ver); ok {
+			home.cacheHits.Add(1)
+			return Response{Pred: pred, FromModel: true, Cached: true, Replica: home.id}, nil
+		}
+		c.st.cacheMisses.Add(1)
+	}
+
+	var tried uint64
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		r := c.pick(key, tried)
+		if r == nil {
+			break // nothing dispatchable: degrade
+		}
+		resp, used, err := c.dispatch(ctx, r, req, key, tried)
+		tried |= used
+		if err == nil {
+			if resp.FromModel {
+				c.home(key).cache.put(key, ver, resp.Pred)
+			}
+			return Response{Pred: resp.Pred, FromModel: resp.FromModel, Replica: r.id}, nil
+		}
+		if parent.Err() != nil {
+			// The caller itself is gone; an answer has no reader.
+			c.st.callerCanceled.Add(1)
+			return Response{}, parent.Err()
+		}
+		if ctx.Err() != nil {
+			// Our per-request deadline fired: the bounded-latency contract
+			// says answer now, from the fallback.
+			c.st.deadlineDegraded.Add(1)
+			break
+		}
+		if attempt+1 >= c.cfg.MaxAttempts {
+			break
+		}
+		if !c.budget.allow() {
+			break
+		}
+		c.st.retries.Add(1)
+		d := backoff(c.cfg.RetryBackoff, attempt+1, c.jitter.next(), c.cfg.MaxBackoff)
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+	return c.degrade(req), nil
+}
+
+// degrade mints the requested-runtime fallback response (the paper's
+// §2.3 pre-first-training contract, reused as the cluster's bottom
+// rung: a submission always gets *an* answer within its deadline).
+func (c *Cluster) degrade(req Request) Response {
+	c.st.degraded.Add(1)
+	return Response{
+		Pred:     prionn.Prediction{RuntimeMin: req.RequestedMin},
+		Degraded: true,
+		Replica:  -1,
+	}
+}
+
+// home returns the replica owning a script's cache shard.
+func (c *Cluster) home(key uint64) *replica {
+	return c.replicas[int(key%uint64(len(c.replicas)))]
+}
+
+// pick selects the next replica to try, honoring the routing policy,
+// health, the tried-mask, and each candidate's circuit breaker. Every
+// non-nil pick consumes one breaker Allow, which the subsequent
+// dispatch pairs with exactly one Record. Returns nil when no replica
+// is dispatchable.
+func (c *Cluster) pick(key uint64, tried uint64) *replica {
+	n := len(c.replicas)
+	var order [maxReplicas]int
+	switch c.cfg.Policy {
+	case LeastLoaded:
+		// Selection sort by (inflight, id); n is at most 64 and typically
+		// single digits.
+		var load [maxReplicas]int64
+		for i := 0; i < n; i++ {
+			order[i] = i
+			load[i] = c.replicas[i].inflight.Load()
+		}
+		for i := 0; i < n; i++ {
+			min := i
+			for j := i + 1; j < n; j++ {
+				if load[order[j]] < load[order[min]] ||
+					(load[order[j]] == load[order[min]] && order[j] < order[min]) {
+					min = j
+				}
+			}
+			order[i], order[min] = order[min], order[i]
+		}
+	case ScriptAffinity:
+		start := int(key % uint64(n))
+		for i := 0; i < n; i++ {
+			order[i] = (start + i) % n
+		}
+	default: // RoundRobin
+		start := int((c.rr.Add(1) - 1) % uint64(n))
+		for i := 0; i < n; i++ {
+			order[i] = (start + i) % n
+		}
+	}
+	scan := func(ignoreHealth bool) *replica {
+		for i := 0; i < n; i++ {
+			r := c.replicas[order[i]]
+			if tried&(1<<uint(r.id)) != 0 {
+				continue
+			}
+			if r.killed.Load() || (!ignoreHealth && !r.healthy.Load()) {
+				continue
+			}
+			if !r.br.Allow() {
+				continue
+			}
+			return r
+		}
+		return nil
+	}
+	if r := scan(false); r != nil {
+		return r
+	}
+	// Health checking fails open: if the health filter alone would empty
+	// the pool (probes time out on an overloaded-but-live cluster), route
+	// anyway rather than convert congestion into a full outage. Killed
+	// replicas and open breakers still gate — those are hard signals.
+	return scan(true)
+}
+
+// attemptResult carries one dispatch attempt's outcome to the hedging
+// selector.
+type attemptResult struct {
+	resp serve.Response
+	err  error
+	id   int
+}
+
+// dispatch runs one routed attempt, hedging a second replica when the
+// first exceeds the hedging threshold. It returns the mask of replica
+// ids it consumed (for the retry loop's tried-set) alongside the
+// winning response. The request is answered exactly once: a losing
+// hedge's response lands in the buffered channel and is dropped with
+// it.
+func (c *Cluster) dispatch(ctx context.Context, r *replica, req Request, key, tried uint64) (serve.Response, uint64, error) {
+	used := uint64(1) << uint(r.id)
+	delay := c.lat.hedgeDelay()
+	if delay <= 0 {
+		resp, err := c.attempt(ctx, r, req)
+		return resp, used, err
+	}
+
+	ch := make(chan attemptResult, 2)
+	launch := func(lr *replica) {
+		//prionnvet:ignore naked-goroutine -- result delivered via the buffered ch; a losing hedge completes its send and is dropped, never leaked
+		go func() {
+			defer func() {
+				// A panicking replica (a failpoint armed with Panic, a
+				// corrupt snapshot) is a failed attempt, not a process
+				// kill: convert it so the retry loop can fail over.
+				if p := recover(); p != nil {
+					ch <- attemptResult{err: fmt.Errorf("replica %d panic: %v", lr.id, p), id: lr.id}
+				}
+			}()
+			resp, err := c.attempt(ctx, lr, req)
+			ch <- attemptResult{resp, err, lr.id}
+		}()
+	}
+	launch(r)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	outstanding := 1
+	hedged := false
+	var lastErr error
+	for {
+		//prionnvet:ignore nondet-select -- hedging races two attempts by design; both compute snapshot-pure answers, so whichever wins returns identical bytes
+		select {
+		case res := <-ch:
+			outstanding--
+			if res.err == nil {
+				if hedged && res.id != r.id {
+					c.st.hedgeWins.Add(1)
+				}
+				return res.resp, used, nil
+			}
+			lastErr = res.err
+			if outstanding == 0 {
+				return serve.Response{}, used, lastErr
+			}
+		case <-timer.C:
+			if !hedged {
+				if r2 := c.pick(key, tried|used); r2 != nil {
+					used |= 1 << uint(r2.id)
+					c.st.hedges.Add(1)
+					hedged = true
+					outstanding++
+					launch(r2)
+				}
+			}
+		case <-ctx.Done():
+			return serve.Response{}, used, ctx.Err()
+		}
+	}
+}
+
+// attempt dispatches one request to one replica through its failpoint,
+// recording the outcome in the replica's breaker and the cluster's
+// latency tracker. Pairs with the breaker Allow its pick consumed.
+func (c *Cluster) attempt(ctx context.Context, r *replica, req Request) (serve.Response, error) {
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	if err := fault.Here(ReplicaFailpoint(r.id)); err != nil {
+		r.failed.Add(1)
+		r.br.Record(false)
+		return serve.Response{}, err
+	}
+	srv := r.srv.Load()
+	if srv == nil {
+		r.failed.Add(1)
+		r.br.Record(false)
+		return serve.Response{}, errReplicaDown
+	}
+	//prionnvet:ignore time-dep -- dispatch latency feeds the hedging threshold and p50/p99 stats; wall-clock by design
+	t0 := time.Now()
+	resp, err := srv.Predict(ctx, req)
+	//prionnvet:ignore time-dep -- dispatch latency feeds the hedging threshold and p50/p99 stats; wall-clock by design
+	d := time.Since(t0)
+	if err != nil {
+		r.failed.Add(1)
+		r.br.Record(false)
+		return resp, err
+	}
+	r.dispatched.Add(1)
+	r.br.Record(true)
+	c.lat.record(d)
+	return resp, nil
+}
+
+// Swap publishes a new snapshot to every replica. Each replica gets a
+// private Clone (replica loops must never share layer caches), and the
+// per-replica serve.Swap keeps the PR 5 invariant that no batch mixes
+// snapshot versions — extended cluster-wide, no batch on any replica
+// mixes versions, because every replica's flush loads exactly one
+// snapshot pointer.
+//
+// Ordering: replicas are swapped first, the cache version is bumped
+// and the caches invalidated after. A forward that raced the swap can
+// therefore only insert a cache entry under the *old* version — erased
+// by the invalidation — never a stale prediction under the new
+// version.
+func (c *Cluster) Swap(v *prionn.Inference) error {
+	c.ctl.Lock()
+	defer c.ctl.Unlock()
+	if v == nil {
+		c.view.Store(nil)
+	} else {
+		c.view.Store(v)
+	}
+	for _, r := range c.replicas {
+		clone, err := cloneView(v)
+		if err != nil {
+			return err
+		}
+		if srv := r.srv.Load(); srv != nil {
+			srv.Swap(clone)
+		}
+	}
+	ver := c.version.Add(1)
+	for _, r := range c.replicas {
+		r.cache.invalidate(ver)
+	}
+	c.st.swaps.Add(1)
+	return nil
+}
+
+// View returns the most recently published snapshot source (nil if
+// none).
+func (c *Cluster) View() *prionn.Inference { return c.view.Load() }
+
+// Kill crashes one replica: its server drains and stops, and the
+// router stops considering it until Restart. In-flight dispatches to
+// it fail over through the retry path. The chaos harness uses this for
+// replica-crash injection; it is also the manual drain lever.
+func (c *Cluster) Kill(ctx context.Context, id int) error {
+	if id < 0 || id >= len(c.replicas) {
+		return errors.New("cluster: no replica " + strconv.Itoa(id))
+	}
+	r := c.replicas[id]
+	c.ctl.Lock()
+	r.killed.Store(true)
+	r.healthy.Store(false)
+	srv := r.srv.Load()
+	c.ctl.Unlock()
+	if srv == nil {
+		return nil
+	}
+	// Outside ctl: draining blocks on the replica's inference loop.
+	return srv.Stop(ctx)
+}
+
+// Restart resurrects a killed replica on a fresh server holding a
+// private clone of the currently published snapshot, with a reset
+// breaker and an empty cache shard.
+func (c *Cluster) Restart(id int) error {
+	if id < 0 || id >= len(c.replicas) {
+		return errors.New("cluster: no replica " + strconv.Itoa(id))
+	}
+	r := c.replicas[id]
+	c.ctl.Lock()
+	defer c.ctl.Unlock()
+	if !r.killed.Load() {
+		return errors.New("cluster: replica " + strconv.Itoa(id) + " is not killed")
+	}
+	v, err := cloneView(c.view.Load())
+	if err != nil {
+		return err
+	}
+	r.srv.Store(serve.New(v, c.cfg.Serve))
+	r.cache.invalidate(c.version.Load())
+	r.br.restart()
+	r.killed.Store(false)
+	r.healthy.Store(true)
+	return nil
+}
+
+// Stop shuts the cluster down: the health checker exits, then every
+// replica drains gracefully (already-admitted requests are answered).
+// The context bounds the whole shutdown. Stop is idempotent.
+func (c *Cluster) Stop(ctx context.Context) error {
+	c.stopOnce.Do(func() { close(c.healthStop) })
+	select {
+	case <-c.healthDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	var firstErr error
+	for _, r := range c.replicas {
+		if srv := r.srv.Load(); srv != nil {
+			if err := srv.Stop(ctx); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// healthLoop is the active health checker: it probes every replica at
+// the configured cadence and flips routability. It exits when Stop
+// closes healthStop.
+func (c *Cluster) healthLoop() {
+	defer close(c.healthDone)
+	t := time.NewTicker(c.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.healthStop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll health-checks every replica once.
+func (c *Cluster) probeAll() {
+	for _, r := range c.replicas {
+		if r.killed.Load() {
+			continue // stays unhealthy until Restart
+		}
+		ok := c.probe(r)
+		if was := r.healthy.Swap(ok); was != ok {
+			c.st.healthFlips.Add(1)
+		}
+	}
+}
+
+// probe submits one bounded health request through the replica's
+// failpoint and serve path, so injected latency or errors — and a
+// stopped server — all read as unhealthy. Probe outcomes drive
+// routability only; the circuit breaker is driven by real traffic.
+func (c *Cluster) probe(r *replica) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
+	defer cancel()
+	if err := fault.Here(ReplicaFailpoint(r.id)); err != nil {
+		return false
+	}
+	if ctx.Err() != nil {
+		return false // injected latency ate the probe deadline
+	}
+	srv := r.srv.Load()
+	if srv == nil {
+		return false
+	}
+	_, err := srv.Predict(ctx, Request{Script: healthProbeScript, RequestedMin: 1})
+	return err == nil
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// retryBudget bounds cluster-wide retry amplification: retries may be
+// at most Ratio of the requests seen so far, plus a MinRetries floor so
+// a cold cluster can still retry at all. The classic failure mode this
+// prevents: every replica slows down, every request retries MaxAttempts
+// times, and the cluster DDoSes itself with 3x its own traffic. With a
+// budget, sustained failure degrades to at most (1+Ratio)x load and the
+// excess requests take the fallback ladder instead.
+type retryBudget struct {
+	ratio      float64
+	minRetries int64
+
+	requests  atomic.Int64
+	retries   atomic.Int64
+	exhausted atomic.Int64
+}
+
+// request notes one incoming cluster request (the budget's deposit).
+func (b *retryBudget) request() { b.requests.Add(1) }
+
+// allow reports whether one more retry fits the budget, consuming it
+// when it does.
+func (b *retryBudget) allow() bool {
+	for {
+		spent := b.retries.Load()
+		limit := b.minRetries + int64(b.ratio*float64(b.requests.Load()))
+		if spent >= limit {
+			b.exhausted.Add(1)
+			return false
+		}
+		if b.retries.CompareAndSwap(spent, spent+1) {
+			return true
+		}
+	}
+}
+
+// splitmix64 is the finalizer from Vigna's splitmix64 PRNG: a cheap,
+// stateless bit mixer. The repo already uses it for per-(event, head)
+// shuffle seeds; here it turns an atomic counter into backoff jitter
+// without math/rand state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jitterSource mints uniform [0,1) jitter fractions from a seeded
+// counter — deterministic per draw index, no shared RNG lock.
+type jitterSource struct {
+	seed uint64
+	n    atomic.Uint64
+}
+
+func (j *jitterSource) next() float64 {
+	x := splitmix64(j.seed ^ splitmix64(j.n.Add(1)))
+	return float64(x>>11) / (1 << 53)
+}
+
+// backoff returns the sleep before retry attempt (1-based), with
+// "equal jitter": half the exponential step deterministic, half
+// uniformly random, capped at maxBackoff.
+func backoff(base time.Duration, attempt int, jitter float64, maxBackoff time.Duration) time.Duration {
+	d := base << uint(attempt-1)
+	if d <= 0 || d > maxBackoff {
+		d = maxBackoff
+	}
+	return d/2 + time.Duration(jitter*float64(d/2))
+}
+
+// latencySamples is the ring capacity of the hedging latency tracker.
+// 512 recent model-path latencies are plenty to estimate a tail
+// percentile and cheap to sort.
+const latencySamples = 512
+
+// hedgeRecompute is how many new samples arrive between threshold
+// recomputations — sorting per request would put an O(n log n) in the
+// hot path for a value that drifts slowly.
+const hedgeRecompute = 64
+
+// latencyTracker keeps a ring of recent request latencies, serves
+// percentile queries, and maintains the hedging threshold (the
+// configured percentile, recomputed every hedgeRecompute samples).
+type latencyTracker struct {
+	pct float64 // hedging percentile, e.g. 0.95; 0 disables
+
+	mu      sync.Mutex
+	samples [latencySamples]int64
+	n       int // total recorded
+	next    int
+
+	hedgeNs atomic.Int64 // current hedging threshold; 0 = not ready
+}
+
+// record folds one latency into the ring and periodically refreshes
+// the hedge threshold.
+func (t *latencyTracker) record(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.next] = int64(d)
+	t.next = (t.next + 1) % latencySamples
+	t.n++
+	recompute := t.pct > 0 && t.n >= hedgeRecompute && t.n%hedgeRecompute == 0
+	var snap []int64
+	if recompute {
+		snap = t.snapshotLocked()
+	}
+	t.mu.Unlock()
+	if recompute {
+		t.hedgeNs.Store(percentile(snap, t.pct))
+	}
+}
+
+// snapshotLocked copies the populated part of the ring. Callers hold mu.
+func (t *latencyTracker) snapshotLocked() []int64 {
+	filled := t.n
+	if filled > latencySamples {
+		filled = latencySamples
+	}
+	out := make([]int64, filled)
+	copy(out, t.samples[:filled])
+	return out
+}
+
+// percentileNs returns the p-th percentile of the recorded latencies
+// (0 when nothing is recorded yet).
+func (t *latencyTracker) percentileNs(p float64) int64 {
+	t.mu.Lock()
+	snap := t.snapshotLocked()
+	t.mu.Unlock()
+	return percentile(snap, p)
+}
+
+// hedgeDelay returns the current hedging threshold, or 0 when hedging
+// is disabled or the tracker is still warming up.
+func (t *latencyTracker) hedgeDelay() time.Duration {
+	if t.pct <= 0 {
+		return 0
+	}
+	return time.Duration(t.hedgeNs.Load())
+}
+
+// percentile sorts ns in place and returns the p-th percentile
+// (nearest-rank), or 0 for an empty slice.
+func percentile(ns []int64, p float64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	idx := int(p * float64(len(ns)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ns) {
+		idx = len(ns) - 1
+	}
+	return ns[idx]
+}

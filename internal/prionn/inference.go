@@ -64,36 +64,64 @@ func (p *Predictor) view() *Inference {
 // show through. Snapshot does not consume the predictor's RNG stream,
 // so taking one leaves training bitwise-reproducible.
 func (p *Predictor) Snapshot() (*Inference, error) {
-	v := p.view()
+	return p.view().Clone()
+}
+
+// Clone returns a deep copy of the view: same config, transform, and
+// bins, with every head's parameters copied into freshly built models.
+// Because forwards mutate per-layer caches even in inference mode, a
+// shared Inference is confined to one goroutine — a serving cluster
+// therefore hands each replica its own Clone so the replicas' inference
+// loops never touch common layer state. Clones are bitwise-equivalent:
+// a prediction from a clone is identical to one from the original.
+func (v *Inference) Clone() (*Inference, error) {
+	out := *v
 	// Fresh heads are built with a throwaway RNG (their He-init values
-	// are immediately overwritten by the parameter copy) precisely so the
-	// predictor's own RNG — which seeds minibatch shuffles — is untouched.
+	// are immediately overwritten by the parameter copy), so cloning —
+	// and Predictor.Snapshot, which delegates here — never consumes a
+	// training RNG stream.
 	scratch := rand.New(rand.NewSource(0))
+	arch := nn.ArchConfig{
+		Rows:     v.cfg.Rows,
+		Cols:     v.cfg.Cols,
+		Channels: v.transform.Channels(),
+		Classes:  0,
+		Width:    v.cfg.Width,
+	}
 	clone := func(src *nn.Sequential, classes int) (*nn.Sequential, error) {
-		m := p.buildModelWith(scratch, classes)
+		if src == nil {
+			return nil, nil
+		}
+		a := arch
+		a.Classes = classes
+		var m *nn.Sequential
+		switch v.cfg.Model {
+		case ModelNN:
+			m = nn.NewFullyConnected(scratch, a)
+		case Model1DCNN:
+			m = nn.NewCNN1D(scratch, a)
+		default:
+			m = nn.NewCNN2D(scratch, a)
+		}
 		if err := m.CopyParamsFrom(src); err != nil {
 			return nil, err
 		}
 		return m, nil
 	}
 	var err error
-	if v.runtime, err = clone(p.runtime, p.Config.RuntimeClasses); err != nil {
+	if out.runtime, err = clone(v.runtime, v.cfg.RuntimeClasses); err != nil {
 		return nil, err
 	}
-	if p.Config.PredictIO {
-		if v.read, err = clone(p.read, p.Config.IOClasses); err != nil {
-			return nil, err
-		}
-		if v.write, err = clone(p.write, p.Config.IOClasses); err != nil {
-			return nil, err
-		}
+	if out.read, err = clone(v.read, v.cfg.IOClasses); err != nil {
+		return nil, err
 	}
-	if p.Config.PredictPower {
-		if v.power, err = clone(p.power, p.Config.PowerClasses); err != nil {
-			return nil, err
-		}
+	if out.write, err = clone(v.write, v.cfg.IOClasses); err != nil {
+		return nil, err
 	}
-	return v, nil
+	if out.power, err = clone(v.power, v.cfg.PowerClasses); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Config returns the configuration the view was built with.

@@ -177,6 +177,7 @@ func (s *Server) Stats() Snapshot { return s.st.snapshot() }
 // (its response is discarded), so cancellation never corrupts a batch.
 func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 	if err := ctx.Err(); err != nil {
+		s.st.recordCtxErr(err)
 		return Response{}, err
 	}
 	if err := fault.Here(FailpointAdmit); err != nil {
@@ -206,7 +207,9 @@ func (s *Server) Predict(ctx context.Context, req Request) (Response, error) {
 	case <-p.done:
 		return p.resp, p.err
 	case <-ctx.Done():
-		return Response{}, ctx.Err()
+		err := ctx.Err()
+		s.st.recordCtxErr(err)
+		return Response{}, err
 	}
 }
 

@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -436,4 +438,135 @@ func TestHistBucket(t *testing.T) {
 			t.Errorf("histBucket(%d) = %d, want %d", n, got, want)
 		}
 	}
+}
+
+// TestServeStopRacesPredictSwapExactlyOnce is the drain pinning test:
+// Stop races concurrent Predict and Swap traffic, with latency
+// failpoints at the admission and flush sites widening the race
+// windows. Every request admitted before the drain must be answered
+// exactly once with a snapshot-pure prediction; everything after gets
+// ErrStopped; nothing hangs and nothing is double-answered.
+func TestServeStopRacesPredictSwapExactlyOnce(t *testing.T) {
+	v1, v2, jobs := trainedViews(t)
+	script := jobs[2].Script
+	want1 := v1.PredictOne(script)
+	want2 := v2.PredictOne(script)
+
+	defer fault.DisarmAll()
+	fault.Arm(FailpointAdmit, fault.Failure{Sleep: 50 * time.Microsecond})
+	fault.Arm(FailpointFlush, fault.Failure{Sleep: 100 * time.Microsecond})
+
+	s := New(v1, Config{MaxBatch: 4, MaxDelay: 100 * time.Microsecond, QueueDepth: 256})
+
+	var ok, stopped atomic.Int64
+	swapStop := make(chan struct{})
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		views := [2]*prionn.Inference{v2, v1}
+		for i := 0; ; i++ {
+			select {
+			case <-swapStop:
+				return
+			default:
+				s.Swap(views[i%2])
+			}
+		}
+	}()
+
+	var clientWG sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		clientWG.Add(1)
+		go func() {
+			defer clientWG.Done()
+			for {
+				resp, err := s.Predict(context.Background(), Request{Script: script, RequestedMin: 1})
+				switch {
+				case err == nil:
+					ok.Add(1)
+					if resp.Pred != want1 && resp.Pred != want2 {
+						t.Errorf("prediction %+v matches neither snapshot (%+v / %+v)", resp.Pred, want1, want2)
+						return
+					}
+				case errors.Is(err, ErrStopped):
+					stopped.Add(1)
+					return // drain has begun; this client is done
+				case errors.Is(err, ErrOverloaded):
+					// Back off and retry; the queue is deliberately tight.
+					time.Sleep(10 * time.Microsecond)
+				default:
+					t.Errorf("unexpected predict error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the race build up real concurrency, then pull the plug
+	// mid-traffic.
+	time.Sleep(5 * time.Millisecond)
+	if err := s.Stop(context.Background()); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	clientWG.Wait()
+	close(swapStop)
+	swapWG.Wait()
+
+	snap := s.Stats()
+	// Exactly-once: no caller abandoned its wait (contexts never fire),
+	// so successful responses must equal admissions — every admitted
+	// request was answered, none twice, none lost in the drain.
+	if ok.Load() != snap.Admitted {
+		t.Fatalf("answered %d requests but admitted %d", ok.Load(), snap.Admitted)
+	}
+	if stopped.Load() != 8 {
+		t.Fatalf("stopped clients %d, want all 8", stopped.Load())
+	}
+	if snap.QueueDepth != 0 {
+		t.Fatalf("drain left queue depth %d", snap.QueueDepth)
+	}
+	if snap.Served != snap.Admitted {
+		t.Fatalf("served %d != admitted %d after drain", snap.Served, snap.Admitted)
+	}
+}
+
+// TestServeAbandonedWaitCounters pins the canceled / deadline-exceeded
+// accounting: both abandonment paths (pre-admission and mid-wait) are
+// classified by context error and surfaced in the snapshot and its
+// String rendering.
+func TestServeAbandonedWaitCounters(t *testing.T) {
+	defer fault.DisarmAll()
+	s := New(nil, Config{MaxBatch: 4, MaxDelay: time.Millisecond, QueueDepth: 8})
+	defer func() {
+		if err := s.Stop(context.Background()); err != nil {
+			t.Fatalf("stop: %v", err)
+		}
+	}()
+
+	// Pre-admission: an already-canceled context is refused and counted.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Predict(canceled, Request{Script: "x"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+
+	// Mid-wait: stall the flush so an admitted request's deadline fires
+	// while it waits for its batch.
+	fault.Arm(FailpointFlush, fault.Failure{Sleep: 50 * time.Millisecond})
+	ctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel2()
+	if _, err := s.Predict(ctx, Request{Script: "y"}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+
+	snap := s.Stats()
+	if snap.Canceled != 1 || snap.DeadlineExceeded != 1 {
+		t.Fatalf("canceled %d, deadline-exceeded %d; want 1 and 1", snap.Canceled, snap.DeadlineExceeded)
+	}
+	if !strings.Contains(snap.String(), "abandoned waits: 1 canceled, 1 deadline-exceeded") {
+		t.Fatalf("String() missing the abandoned-waits line:\n%s", snap.String())
+	}
+	// The abandoned wait was still flushed: no lost work in the drain.
+	fault.DisarmAll()
 }

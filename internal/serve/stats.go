@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -23,6 +25,8 @@ type stats struct {
 	served   atomic.Int64 // predictions returned from model forwards
 	fallback atomic.Int64 // predictions served from the requested-runtime fallback
 	errored  atomic.Int64 // requests completed with an error (injected faults)
+	canceled atomic.Int64 // waits abandoned because the request context was canceled
+	deadline atomic.Int64 // waits abandoned because the request context deadline expired
 
 	batches    atomic.Int64 // coalesced flushes executed
 	swaps      atomic.Int64 // snapshot swaps published
@@ -46,6 +50,15 @@ func histBucket(n int) int {
 	return b
 }
 
+// recordCtxErr classifies an abandoned wait by its context error.
+func (s *stats) recordCtxErr(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.deadline.Add(1)
+		return
+	}
+	s.canceled.Add(1)
+}
+
 // recordBatch folds one flushed batch into the counters.
 func (s *stats) recordBatch(size int, mapDur, forwardDur time.Duration) {
 	s.batches.Add(1)
@@ -62,6 +75,15 @@ type Snapshot struct {
 	Served   int64 `json:"served"`
 	Fallback int64 `json:"fallback"`
 	Errored  int64 `json:"errored"`
+
+	// Canceled and DeadlineExceeded count Predict calls whose caller
+	// abandoned the wait (context canceled / deadline expired) before the
+	// response arrived. An admitted request is still flushed with its
+	// batch — these count abandoned waits, not lost work, and they make
+	// context-abandoned traffic visible in /stats instead of silently
+	// disappearing from the served/fallback totals.
+	Canceled         int64 `json:"canceled"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
 
 	Batches    int64 `json:"batches"`
 	Swaps      int64 `json:"swaps"`
@@ -84,6 +106,8 @@ func (s *stats) snapshot() Snapshot {
 	out.Served = s.served.Load()
 	out.Fallback = s.fallback.Load()
 	out.Errored = s.errored.Load()
+	out.Canceled = s.canceled.Load()
+	out.DeadlineExceeded = s.deadline.Load()
 	out.Batches = s.batches.Load()
 	out.Swaps = s.swaps.Load()
 	out.QueueDepth = s.queueDepth.Load()
@@ -109,6 +133,10 @@ func (sn Snapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "served %d (model) + %d (fallback), %d errored; admitted %d, rejected %d\n",
 		sn.Served, sn.Fallback, sn.Errored, sn.Admitted, sn.Rejected)
+	if sn.Canceled > 0 || sn.DeadlineExceeded > 0 {
+		fmt.Fprintf(&b, "abandoned waits: %d canceled, %d deadline-exceeded\n",
+			sn.Canceled, sn.DeadlineExceeded)
+	}
 	fmt.Fprintf(&b, "batches %d (mean size %.1f), queue depth %d, swaps %d\n",
 		sn.Batches, sn.MeanBatch(), sn.QueueDepth, sn.Swaps)
 	if sn.Batches > 0 {

@@ -8,10 +8,13 @@
 # Then runs the serving-throughput pair (64 concurrent clients through
 # sequential batch-1 PredictOne vs the internal/serve coalescer) and
 # rewrites BENCH_serve.json, including the per-prediction rate and the
-# coalescing speedup ratio. Finally runs the prionnvet analysis
-# benchmarks (full gate sweep plus the per-layer substrate breakdown:
-# def-use index, call graph, lockset engine) and rewrites
-# BENCH_analysis.json.
+# coalescing speedup ratio. Then runs the cluster family (replica
+# scaling, script-affinity caching, hedging) and rewrites
+# BENCH_cluster.json with predictions/sec, cache hit rate, dispatch
+# p50/p99, and the 4-replica aggregate speedup. Finally runs the
+# prionnvet analysis benchmarks (full gate sweep plus the per-layer
+# substrate breakdown: def-use index, call graph, lockset engine) and
+# rewrites BENCH_analysis.json.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 1s; pass e.g. 1x for a
 # smoke run that only checks the benchmarks still execute)
@@ -27,17 +30,19 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 serve_tmp="$(mktemp)"
+cluster_tmp="$(mktemp)"
 analysis_tmp="$(mktemp)"
-trap 'rm -f "$tmp" "$serve_tmp" "$analysis_tmp"' EXIT
+trap 'rm -f "$tmp" "$serve_tmp" "$cluster_tmp" "$analysis_tmp"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime="$benchtime" . | tee "$tmp"
 go test -run '^$' -bench '^BenchmarkServe' -benchmem -benchtime="$benchtime" ./internal/serve/ | tee "$serve_tmp"
+go test -run '^$' -bench '^BenchmarkCluster' -benchmem -benchtime="$benchtime" ./internal/cluster/ | tee "$cluster_tmp"
 go test -run '^$' -bench '^(BenchmarkPrionnvetRunAll$|BenchmarkAnalysisRepoWide)' -benchmem -benchtime="$benchtime" . | tee "$analysis_tmp"
 
 # Only rewrite the committed snapshots on real timing runs; -benchtime=1x
 # numbers are startup noise.
 if [ "$benchtime" = "1x" ]; then
-    echo "smoke run: BENCH_kernels.json, BENCH_serve.json, and BENCH_analysis.json left untouched"
+    echo "smoke run: BENCH_kernels.json, BENCH_serve.json, BENCH_cluster.json, and BENCH_analysis.json left untouched"
     exit 0
 fi
 
@@ -88,6 +93,43 @@ END {
 ' "$serve_tmp" > BENCH_serve.json
 
 echo "wrote BENCH_serve.json"
+
+# BENCH_cluster.json: the replicated-cluster family. Each entry derives
+# predictions/sec and carries the cluster's own reported metrics (cache
+# hit rate, dispatch-latency p50/p99); the trailing key is the headline
+# aggregate speedup of the 4-replica affinity+cache configuration over
+# the 1-replica cluster baseline. This host is single core, so the
+# speedup is carried by the script-affinity prediction cache, not by
+# loop parallelism.
+awk '
+BEGIN { print "{"; sep = "" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = "null"; allocs = "null"; hit = ""; p50 = ""; p99 = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "hit-rate") hit = $(i - 1)
+        if ($i == "p50-ns") p50 = $(i - 1)
+        if ($i == "p99-ns") p99 = $(i - 1)
+    }
+    if (name ~ /Cluster1Replica$/) one_ns = ns
+    if (name ~ /Cluster4ReplicasAffinity$/) four_ns = ns
+    printf "%s  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s, \"predictions_per_sec\": %.0f", sep, name, ns, allocs, 1e9 / ns
+    if (hit != "") printf ", \"cache_hit_rate\": %s", hit
+    if (p50 != "") printf ", \"dispatch_p50_ns\": %.0f, \"dispatch_p99_ns\": %.0f", p50, p99
+    printf "}"
+    sep = ",\n"
+}
+END {
+    if (one_ns != "" && four_ns != "")
+        printf "%s  \"aggregate_speedup_4_replicas\": %.2f", sep, one_ns / four_ns
+    print "\n}"
+}
+' "$cluster_tmp" > BENCH_cluster.json
+
+echo "wrote BENCH_cluster.json"
 
 # BENCH_analysis.json: the full gate sweep (every checker over every
 # package) plus the per-layer substrate costs. Sub-benchmark names like

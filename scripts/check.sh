@@ -18,12 +18,18 @@
 #                      == single bitwise, bounded-queue overload,
 #                      graceful drain — rerun under the race detector
 #                      with concurrent Predict+Swap)
-#   9. bench smoke    (one iteration of each kernel, serving, and
-#                      analysis benchmark via scripts/bench.sh 1x; real
-#                      timings are recorded separately into
-#                      BENCH_kernels.json, BENCH_serve.json, and
-#                      BENCH_analysis.json)
-#  10. go test -fuzz  (short smoke run of each fuzz target: the mapping
+#   9. cluster chaos  (the replicated-cluster robustness matrix under
+#                      the race detector: seeded chaos schedules with
+#                      latency/error/crash injection, cluster-wide swap
+#                      purity, breaker transitions, retry-budget
+#                      exhaustion, full degradation, and the serve
+#                      drain-race pin)
+#  10. bench smoke    (one iteration of each kernel, serving, cluster,
+#                      and analysis benchmark via scripts/bench.sh 1x;
+#                      real timings are recorded separately into
+#                      BENCH_kernels.json, BENCH_serve.json,
+#                      BENCH_cluster.json, and BENCH_analysis.json)
+#  11. go test -fuzz  (short smoke run of each fuzz target: the mapping
 #                      crop/pad grid, the feature-directive parser, and
 #                      corrupt-checkpoint loading)
 #
@@ -91,6 +97,16 @@ step_done
 # the tests being renamed away).
 step "serving gate (coalescing / overload / drain, -race)"
 go test -race -count=1 -run 'TestServeBatchedBitwiseIdenticalToSingle|TestServeOverloadBoundedQueue|TestServeGracefulDrainNoDrops|TestServeConcurrentPredictSwap' ./internal/serve/
+step_done
+
+# Cluster chaos matrix: the multi-replica layer's robustness proof,
+# explicitly and under the race detector — seeded chaos (latency,
+# errors, kill/restart mid-traffic), cluster-wide snapshot purity,
+# breaker state transitions, retry-budget exhaustion, graceful full
+# degradation — plus the serve drain-race exactly-once pin.
+step "cluster chaos gate (fault injection, -race)"
+go test -race -count=1 -run 'TestClusterChaos|TestClusterSwapNeverMixesBatches|TestClusterFullyDegradedFallback|TestClusterRetryBudgetExhaustion|TestClusterBreakerOpensAndRecovers' ./internal/cluster/
+go test -race -count=1 -run 'TestServeStopRacesPredictSwapExactlyOnce' ./internal/serve/
 step_done
 
 # Benchmark smoke: one iteration of each kernel, serving, and analysis
