@@ -11,6 +11,7 @@
 //	prionnd -load model.ckpt -addr :8356         # serve a model saved by cmd/prionn
 //	prionnd -demo 5000 -clients 64               # in-process throughput demo, no HTTP
 //	prionnd -replicas 4 -policy affinity ...     # fault-tolerant multi-replica cluster
+//	prionnd -quant -jobs 2000 ...                # serve the int8-quantized snapshot
 //
 // With -replicas N > 1 the daemon serves from an internal/cluster of N
 // replicated coalescers behind a health-checked router: budgeted
@@ -27,9 +28,11 @@
 //	               503 with a text body when the admission queue is full;
 //	               504 when -request-timeout expires (single-replica mode).
 //	GET  /stats    → JSON serving counters (queue depth, batch-size
-//	               histogram, per-stage latency, predictions served; in
-//	               cluster mode: retries, hedges, cache hit rate, and a
-//	               per-replica breakdown with breaker states).
+//	               histogram, per-stage latency, predictions served, the
+//	               published snapshot's kernel kind and persisted byte
+//	               size; in cluster mode: retries, hedges, cache hit
+//	               rate, and a per-replica breakdown with breaker
+//	               states).
 //	GET  /healthz  → 200 ok (liveness: the process is up)
 //	GET  /readyz   → 200 ready, or 503 once draining has begun — and, under
 //	               -no-fallback, until a trained snapshot is published.
@@ -46,6 +49,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -111,25 +115,50 @@ type engine interface {
 
 // singleEngine serves from one coalescing server (the -replicas 1
 // default, wire- and stats-compatible with earlier daemons).
-type singleEngine struct{ srv *serve.Server }
+// snapBytes is the persisted byte size of the published snapshot
+// artifact, reported on /stats alongside the kernel kind so operators
+// can see what the -quant switch bought.
+type singleEngine struct {
+	srv       *serve.Server
+	snapBytes int64
+}
 
 func (e *singleEngine) Predict(ctx context.Context, req serve.Request) (cluster.Response, error) {
 	resp, err := e.srv.Predict(ctx, req)
 	return cluster.Response{Pred: resp.Pred, FromModel: resp.FromModel, Replica: -1}, err
 }
 func (e *singleEngine) Stop(ctx context.Context) error { return e.srv.Stop(ctx) }
-func (e *singleEngine) StatsJSON() any                 { return e.srv.Stats() }
-func (e *singleEngine) StatsText() string              { return e.srv.Stats().String() }
+func (e *singleEngine) StatsJSON() any {
+	// The embedded snapshot keeps its fields at the top level of the
+	// /stats document, so existing consumers are unaffected.
+	return struct {
+		serve.Snapshot
+		SnapshotBytes int64 `json:"snapshot_bytes"`
+	}{e.srv.Stats(), e.snapBytes}
+}
+func (e *singleEngine) StatsText() string {
+	return e.srv.Stats().String() + fmt.Sprintf("snapshot: %d bytes\n", e.snapBytes)
+}
 
 // clusterEngine serves from a replicated cluster.
-type clusterEngine struct{ cl *cluster.Cluster }
+type clusterEngine struct {
+	cl        *cluster.Cluster
+	snapBytes int64
+}
 
 func (e *clusterEngine) Predict(ctx context.Context, req serve.Request) (cluster.Response, error) {
 	return e.cl.Predict(ctx, req)
 }
 func (e *clusterEngine) Stop(ctx context.Context) error { return e.cl.Stop(ctx) }
-func (e *clusterEngine) StatsJSON() any                 { return e.cl.Stats() }
-func (e *clusterEngine) StatsText() string              { return e.cl.Stats().String() }
+func (e *clusterEngine) StatsJSON() any {
+	return struct {
+		cluster.Snapshot
+		SnapshotBytes int64 `json:"snapshot_bytes"`
+	}{e.cl.Stats(), e.snapBytes}
+}
+func (e *clusterEngine) StatsText() string {
+	return e.cl.Stats().String() + fmt.Sprintf("snapshot: %d bytes\n", e.snapBytes)
+}
 
 // run is the testable body of main: parse argv, build the model and
 // serving engine, and either run the in-process demo or serve HTTP
@@ -146,6 +175,7 @@ func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop f
 	seed := fs.Int64("seed", 1, "seed for trace and model")
 	scale := fs.String("scale", "fast", "model scale: tiny, fast, paper")
 	load := fs.String("load", "", "serve a model checkpoint instead of training")
+	quant := fs.Bool("quant", false, "serve an int8-quantized snapshot (post-training calibration on a held-out trace slice)")
 	maxBatch := fs.Int("max-batch", 64, "largest coalesced minibatch")
 	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "coalescing flush deadline")
 	queueDepth := fs.Int("queue", 256, "admission queue depth (backpressure bound)")
@@ -167,7 +197,7 @@ func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop f
 		_, _ = fmt.Fprintf(stderr, "prionnd: "+format+"\n", args...)
 	}
 
-	view, all, err := buildSnapshot(*load, *scale, *seed, *jobs, logf)
+	view, all, snapBytes, err := buildSnapshot(*load, *scale, *seed, *jobs, *quant, logf)
 	if err != nil {
 		logf("%v", err)
 		return 1
@@ -199,9 +229,9 @@ func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop f
 			return 1
 		}
 		logf("cluster: %d replicas, %s routing", *replicas, pol)
-		eng = &clusterEngine{cl}
+		eng = &clusterEngine{cl: cl, snapBytes: snapBytes}
 	} else {
-		eng = &singleEngine{serve.New(view, serveCfg)}
+		eng = &singleEngine{srv: serve.New(view, serveCfg), snapBytes: snapBytes}
 	}
 
 	if *demo > 0 {
@@ -222,18 +252,22 @@ func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop f
 }
 
 // buildSnapshot loads or trains a predictor and returns its published
-// inference snapshot plus the synthetic trace (for -demo request
-// generation). With -jobs 0 and no checkpoint it returns a nil view:
-// the daemon serves the requested-runtime fallback until a snapshot
-// exists.
-func buildSnapshot(load, scale string, seed int64, jobs int, logf func(string, ...interface{})) (*prionn.Inference, []trace.Job, error) {
+// inference snapshot, the synthetic trace (for -demo request
+// generation), and the persisted byte size of the snapshot artifact
+// (for /stats). With -quant the published snapshot is the predictor's
+// int8 quantization, calibrated on a held-out slice of completed jobs.
+// With -jobs 0 and no checkpoint it returns a nil view: the daemon
+// serves the requested-runtime fallback until a snapshot exists.
+func buildSnapshot(load, scale string, seed int64, jobs int, quant bool, logf func(string, ...interface{})) (*prionn.Inference, []trace.Job, int64, error) {
 	all := trace.Generate(trace.Config{Seed: seed, Jobs: jobs})
+	completed := trace.Completed(all)
 	var p *prionn.Predictor
+	trainWindow := 0
 	if load != "" {
 		var err error
 		p, err = prionn.LoadFile(load)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		logf("restored model from %s (%d training events)", load, p.Events())
 	} else {
@@ -246,18 +280,18 @@ func buildSnapshot(load, scale string, seed int64, jobs int, logf func(string, .
 		case "paper":
 			cfg = prionn.DefaultConfig()
 		default:
-			return nil, nil, fmt.Errorf("unknown scale %q (tiny, fast, paper)", scale)
+			return nil, nil, 0, fmt.Errorf("unknown scale %q (tiny, fast, paper)", scale)
 		}
 		if jobs <= 0 {
 			logf("no initial training (-jobs 0): serving the requested-runtime fallback")
-			return nil, all, nil
+			return nil, all, 0, nil
 		}
 		cfg.Seed = seed
-		completed := trace.Completed(all)
 		window := completed
 		if len(window) > cfg.TrainWindow {
 			window = window[len(window)-cfg.TrainWindow:]
 		}
+		trainWindow = len(window)
 		scripts := make([]string, len(completed))
 		for i, j := range completed {
 			scripts[i] = j.Script
@@ -265,18 +299,61 @@ func buildSnapshot(load, scale string, seed int64, jobs int, logf func(string, .
 		var err error
 		p, err = prionn.New(cfg, scripts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		logf("training on %d most recently completed jobs...", len(window))
 		if _, err := p.Train(window); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
+	}
+	if quant {
+		view, bytes, err := quantizedSnapshot(p, completed, trainWindow, logf)
+		return view, all, bytes, err
 	}
 	view, err := p.Snapshot()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	return view, all, nil
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		return nil, nil, 0, err
+	}
+	return view, all, int64(buf.Len()), nil
+}
+
+// quantizedSnapshot freezes the trained predictor into an int8 serving
+// snapshot. The activation ranges are calibrated on the most recent
+// completed jobs *preceding* the training window (held out from
+// training); when the whole trace fit in the window — or the model came
+// from -load, where the local trace is entirely held out — the most
+// recent completed jobs are used instead. Calibration is capped at
+// maxCalib jobs to bound startup time.
+func quantizedSnapshot(p *prionn.Predictor, completed []trace.Job, trainWindow int, logf func(string, ...interface{})) (*prionn.Inference, int64, error) {
+	const maxCalib = 256
+	calib := completed
+	if trainWindow > 0 && trainWindow < len(completed) {
+		calib = completed[:len(completed)-trainWindow]
+	}
+	if len(calib) > maxCalib {
+		calib = calib[len(calib)-maxCalib:]
+	}
+	if len(calib) == 0 {
+		return nil, 0, fmt.Errorf("-quant needs completed jobs to calibrate on (trace too short)")
+	}
+	view, err := p.SnapshotQuantized(calib)
+	if err != nil {
+		return nil, 0, err
+	}
+	var qbuf, fbuf bytes.Buffer
+	if err := view.SaveQuantized(&qbuf); err != nil {
+		return nil, 0, err
+	}
+	if err := p.Save(&fbuf); err != nil {
+		return nil, 0, err
+	}
+	logf("int8 snapshot published: %d calibration jobs, %d bytes (float checkpoint: %d bytes)",
+		len(calib), qbuf.Len(), fbuf.Len())
+	return view, int64(qbuf.Len()), nil
 }
 
 // runDemo drives the engine with in-process concurrent clients and

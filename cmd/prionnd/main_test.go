@@ -39,6 +39,31 @@ func TestRunDemo(t *testing.T) {
 	}
 }
 
+// TestRunDemoQuant drives the demo path on an int8-quantized snapshot:
+// the daemon trains, calibrates on the held-out slice, publishes the
+// quantized view, and the stats block reports the int8 kernel and the
+// snapshot's byte size.
+func TestRunDemoQuant(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(demoArgs("-quant", "-demo", "200", "-clients", "8"), &stdout, &stderr, nil)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "int8 snapshot published") {
+		t.Fatalf("-quant must log the quantization event:\nstderr: %s", stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[int8] served 200") {
+		t.Fatalf("stats block should report 200 model predictions under the int8 kernel:\n%s", out)
+	}
+	if !strings.Contains(out, "0 failed") {
+		t.Fatalf("demo reported failures:\n%s", out)
+	}
+	if !strings.Contains(out, "snapshot: ") {
+		t.Fatalf("stats block missing the snapshot byte-size line:\n%s", out)
+	}
+}
+
 // TestRunHTTP boots the daemon on an ephemeral port, predicts over
 // HTTP, reads stats, and shuts down via the test stop hook (the same
 // path a SIGINT takes).

@@ -15,17 +15,28 @@ import (
 // sends identical scripts to the same replica, which is what makes a
 // per-replica cache hot.
 //
-// Entries are tagged with the cluster snapshot version: Cluster.Swap
-// bumps the version and resets every cache, and a Put racing a swap is
-// dropped (its version no longer matches), so a stale prediction can
-// never outlive the snapshot that computed it.
+// Entries are tagged with a cacheStamp — the cluster snapshot version
+// plus the published snapshot's kernel kind. Cluster.Swap bumps the
+// version and resets every cache, and a Put racing a swap is dropped
+// (its stamp no longer matches), so a stale prediction can never
+// outlive the snapshot that computed it.
 type predCache struct {
 	mu      sync.Mutex
 	cap     int
-	version int64
+	stamp   cacheStamp
 	entries map[uint64]prionn.Prediction
 	order   []uint64 // FIFO eviction ring over entries' keys
 	next    int
+}
+
+// cacheStamp is the validity tag cache entries live under. The kernel
+// kind is part of the stamp, not just the version: a float32 and an
+// int8 snapshot of the same weights produce near- but not bitwise-
+// identical predictions, so an f32↔int8 Swap must invalidate memoized
+// answers even if a refactor ever made the version component agree.
+type cacheStamp struct {
+	version int64
+	kernel  prionn.KernelKind
 }
 
 func newPredCache(capacity int) *predCache {
@@ -33,7 +44,10 @@ func newPredCache(capacity int) *predCache {
 		return nil
 	}
 	return &predCache{
-		cap:     capacity,
+		cap: capacity,
+		// Version 0 under the float32 default kernel; a cluster created
+		// over an int8 view installs its real stamp before serving.
+		stamp:   cacheStamp{version: 0, kernel: prionn.KernelF32},
 		entries: make(map[uint64]prionn.Prediction, capacity),
 		order:   make([]uint64, 0, capacity),
 	}
@@ -49,31 +63,31 @@ func scriptKey(script, deck string) uint64 {
 	return h.Sum64()
 }
 
-// get returns the cached prediction for key under the given snapshot
-// version.
-func (c *predCache) get(key uint64, version int64) (prionn.Prediction, bool) {
+// get returns the cached prediction for key under the given validity
+// stamp.
+func (c *predCache) get(key uint64, stamp cacheStamp) (prionn.Prediction, bool) {
 	if c == nil {
 		return prionn.Prediction{}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.version != version {
+	if c.stamp != stamp {
 		return prionn.Prediction{}, false
 	}
 	p, ok := c.entries[key]
 	return p, ok
 }
 
-// put stores a prediction computed under the given snapshot version.
-// If a swap bumped the cache's version since the forward ran, the entry
-// is dropped — never cached under the wrong snapshot.
-func (c *predCache) put(key uint64, version int64, p prionn.Prediction) {
+// put stores a prediction computed under the given validity stamp. If a
+// swap changed the cache's stamp since the forward ran, the entry is
+// dropped — never cached under the wrong snapshot or kernel.
+func (c *predCache) put(key uint64, stamp cacheStamp, p prionn.Prediction) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.version != version {
+	if c.stamp != stamp {
 		return
 	}
 	if _, exists := c.entries[key]; exists {
@@ -91,14 +105,14 @@ func (c *predCache) put(key uint64, version int64, p prionn.Prediction) {
 	c.entries[key] = p
 }
 
-// invalidate clears the cache and installs the new snapshot version.
-func (c *predCache) invalidate(version int64) {
+// invalidate clears the cache and installs the new validity stamp.
+func (c *predCache) invalidate(stamp cacheStamp) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.version = version
+	c.stamp = stamp
 	clear(c.entries)
 	c.order = c.order[:0]
 	c.next = 0

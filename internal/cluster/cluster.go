@@ -244,9 +244,9 @@ type Cluster struct {
 	replicas []*replica
 
 	// version counts published snapshots; cache entries are only valid
-	// under the version they were computed at. Bumped by Swap *after*
-	// every replica has the new snapshot (see Swap for the ordering
-	// argument).
+	// under the cacheStamp — {version, kernel kind} — they were computed
+	// at. Bumped by Swap *after* every replica has the new snapshot (see
+	// Swap for the ordering argument).
 	version atomic.Int64
 	// view is the most recently published snapshot source; Restart
 	// clones it for the replacement replica.
@@ -285,12 +285,14 @@ func New(view *prionn.Inference, cfg Config) (*Cluster, error) {
 	if view != nil {
 		c.view.Store(view)
 	}
+	st0 := cacheStamp{version: 0, kernel: viewKernel(view)}
 	for i := 0; i < cfg.Replicas; i++ {
 		r := &replica{
 			id:    i,
 			br:    newBreaker(cfg.Breaker),
 			cache: newPredCache(cfg.CacheSize),
 		}
+		r.cache.invalidate(st0) // install the initial {version, kernel} stamp
 		r.healthy.Store(true)
 		v, err := cloneView(view)
 		if err != nil {
@@ -314,6 +316,24 @@ func cloneView(v *prionn.Inference) (*prionn.Inference, error) {
 		return nil, nil
 	}
 	return v.Clone()
+}
+
+// viewKernel names the kernel kind a snapshot serves with; the nil
+// (fallback-only) view reports the float32 default.
+func viewKernel(v *prionn.Inference) prionn.KernelKind {
+	if v == nil {
+		return prionn.KernelF32
+	}
+	return v.Kernel()
+}
+
+// stamp is the cluster's current cache-validity stamp. The version and
+// view are separate atomics, so a read racing a Swap can observe a
+// mixed {old version, new kernel} pair — which matches neither the old
+// nor the new cache stamp, so the race degrades to a cache miss, never
+// a stale hit.
+func (c *Cluster) stamp() cacheStamp {
+	return cacheStamp{version: c.version.Load(), kernel: viewKernel(c.view.Load())}
 }
 
 // Replicas returns the cluster size.
@@ -342,9 +362,9 @@ func (c *Cluster) Predict(ctx context.Context, req Request) (Response, error) {
 	}
 
 	key := scriptKey(req.Script, req.InputDeck)
-	ver := c.version.Load()
+	st := c.stamp()
 	if home := c.home(key); home.cache != nil {
-		if pred, ok := home.cache.get(key, ver); ok {
+		if pred, ok := home.cache.get(key, st); ok {
 			home.cacheHits.Add(1)
 			return Response{Pred: pred, FromModel: true, Cached: true, Replica: home.id}, nil
 		}
@@ -361,7 +381,7 @@ func (c *Cluster) Predict(ctx context.Context, req Request) (Response, error) {
 		tried |= used
 		if err == nil {
 			if resp.FromModel {
-				c.home(key).cache.put(key, ver, resp.Pred)
+				c.home(key).cache.put(key, st, resp.Pred)
 			}
 			return Response{Pred: resp.Pred, FromModel: resp.FromModel, Replica: r.id}, nil
 		}
@@ -590,11 +610,12 @@ func (c *Cluster) attempt(ctx context.Context, r *replica, req Request) (serve.R
 // mixes versions, because every replica's flush loads exactly one
 // snapshot pointer.
 //
-// Ordering: replicas are swapped first, the cache version is bumped
-// and the caches invalidated after. A forward that raced the swap can
-// therefore only insert a cache entry under the *old* version — erased
-// by the invalidation — never a stale prediction under the new
-// version.
+// Ordering: replicas are swapped first, the cache stamp — snapshot
+// version plus kernel kind, so publishing an int8 snapshot over a
+// float32 one (or back) always reads as a new stamp — is bumped and the
+// caches invalidated after. A forward that raced the swap can therefore
+// only insert a cache entry under the *old* stamp — erased by the
+// invalidation — never a stale prediction under the new one.
 func (c *Cluster) Swap(v *prionn.Inference) error {
 	c.ctl.Lock()
 	defer c.ctl.Unlock()
@@ -612,9 +633,9 @@ func (c *Cluster) Swap(v *prionn.Inference) error {
 			srv.Swap(clone)
 		}
 	}
-	ver := c.version.Add(1)
+	st := cacheStamp{version: c.version.Add(1), kernel: viewKernel(v)}
 	for _, r := range c.replicas {
-		r.cache.invalidate(ver)
+		r.cache.invalidate(st)
 	}
 	c.st.swaps.Add(1)
 	return nil
@@ -663,7 +684,7 @@ func (c *Cluster) Restart(id int) error {
 		return err
 	}
 	r.srv.Store(serve.New(v, c.cfg.Serve))
-	r.cache.invalidate(c.version.Load())
+	r.cache.invalidate(c.stamp())
 	r.br.restart()
 	r.killed.Store(false)
 	r.healthy.Store(true)

@@ -21,6 +21,7 @@ var (
 	setupErr  error
 	view1     *prionn.Inference
 	view2     *prionn.Inference
+	qview1    *prionn.Inference // int8 snapshot of view1's weights
 	testJobs  []trace.Job
 )
 
@@ -43,6 +44,10 @@ func trainedViews(t testing.TB) (*prionn.Inference, *prionn.Inference, []trace.J
 			return
 		}
 		if view1, err = p.Snapshot(); err != nil {
+			setupErr = err
+			return
+		}
+		if qview1, err = p.SnapshotQuantized(jobs[80:]); err != nil {
 			setupErr = err
 			return
 		}
@@ -220,6 +225,74 @@ func TestClusterCacheInvalidatedOnSwap(t *testing.T) {
 	}
 	if want := v2.PredictOne(script); resp.Pred != want {
 		t.Fatalf("post-swap prediction %+v, want v2's %+v", resp.Pred, want)
+	}
+}
+
+// TestClusterSwapKernelInvalidatesCache: publishing an int8 snapshot
+// over a float32 one (and back) must never serve a memoized prediction
+// computed by the other kernel — the two paths agree on classes but not
+// on bitwise prediction values, and the cluster's purity contract is
+// that every response is bitwise-pure to exactly one published
+// snapshot. The cache stamp carries the kernel kind, so the f32-era
+// entry can never satisfy an int8-era lookup.
+func TestClusterSwapKernelInvalidatesCache(t *testing.T) {
+	v1, _, jobs := trainedViews(t)
+	c, err := New(v1, Config{
+		Replicas: 2, Serve: fastServe(), Policy: ScriptAffinity,
+		CacheSize: 32, HealthEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustStop(t, c)
+	if got := c.Stats().Kernel; got != string(prionn.KernelF32) {
+		t.Fatalf("stats kernel = %q before any swap, want %q", got, prionn.KernelF32)
+	}
+
+	script := jobs[1].Script
+	// Warm the f32-era cache entry, and prove it is warm.
+	if _, err := c.Predict(context.Background(), Request{Script: script}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Predict(context.Background(), Request{Script: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("second identical request under the f32 snapshot must hit the cache")
+	}
+
+	if err := c.Swap(qview1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Kernel; got != string(prionn.KernelInt8) {
+		t.Fatalf("stats kernel = %q after int8 swap, want %q", got, prionn.KernelInt8)
+	}
+	resp, err = c.Predict(context.Background(), Request{Script: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("post-swap request served a float32-era cache entry on the int8 snapshot")
+	}
+	if want := qview1.PredictOne(script); resp.Pred != want {
+		t.Fatalf("post-swap prediction %+v, want the int8 snapshot's %+v", resp.Pred, want)
+	}
+
+	// And the reverse direction: swapping back to f32 must not serve the
+	// int8-era entry the predict above memoized.
+	if err := c.Swap(v1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Predict(context.Background(), Request{Script: script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("swap back to f32 served an int8-era cache entry")
+	}
+	if want := v1.PredictOne(script); resp.Pred != want {
+		t.Fatalf("post-swap-back prediction %+v, want the f32 snapshot's %+v", resp.Pred, want)
 	}
 }
 
@@ -732,43 +805,50 @@ func TestBreakerErrorRate(t *testing.T) {
 	}
 }
 
-// TestPredCache pins versioning and FIFO eviction.
+// TestPredCache pins stamp validity ({version, kernel}) and FIFO
+// eviction.
 func TestPredCache(t *testing.T) {
 	c := newPredCache(2)
 	p := func(min int) prionn.Prediction { return prionn.Prediction{RuntimeMin: min} }
-	c.put(1, 0, p(1))
-	c.put(2, 0, p(2))
-	if got, ok := c.get(1, 0); !ok || got != p(1) {
+	st := func(ver int64, k prionn.KernelKind) cacheStamp { return cacheStamp{version: ver, kernel: k} }
+	f0 := st(0, prionn.KernelF32)
+	c.put(1, f0, p(1))
+	c.put(2, f0, p(2))
+	if got, ok := c.get(1, f0); !ok || got != p(1) {
 		t.Fatalf("get(1) = %+v, %v", got, ok)
 	}
-	if _, ok := c.get(1, 9); ok {
+	if _, ok := c.get(1, st(9, prionn.KernelF32)); ok {
 		t.Fatal("wrong-version get must miss")
 	}
-	c.put(3, 0, p(3)) // evicts key 1 (FIFO)
-	if _, ok := c.get(1, 0); ok {
+	if _, ok := c.get(1, st(0, prionn.KernelInt8)); ok {
+		t.Fatal("same version, different kernel must miss: int8 and f32 answers are not interchangeable")
+	}
+	c.put(3, f0, p(3)) // evicts key 1 (FIFO)
+	if _, ok := c.get(1, f0); ok {
 		t.Fatal("FIFO eviction must drop the oldest key")
 	}
-	if _, ok := c.get(3, 0); !ok {
+	if _, ok := c.get(3, f0); !ok {
 		t.Fatal("newest key must survive eviction")
 	}
-	c.put(9, 5, p(9)) // version mismatch: dropped
-	if _, ok := c.get(9, 5); ok {
-		t.Fatal("put under a non-current version must be dropped")
+	q5 := st(5, prionn.KernelInt8)
+	c.put(9, q5, p(9)) // stamp mismatch: dropped
+	if _, ok := c.get(9, q5); ok {
+		t.Fatal("put under a non-current stamp must be dropped")
 	}
-	c.invalidate(5)
+	c.invalidate(q5)
 	if c.size() != 0 {
 		t.Fatalf("invalidate left %d entries", c.size())
 	}
-	c.put(9, 5, p(9))
-	if got, ok := c.get(9, 5); !ok || got != p(9) {
+	c.put(9, q5, p(9))
+	if got, ok := c.get(9, q5); !ok || got != p(9) {
 		t.Fatalf("post-invalidate put/get = %+v, %v", got, ok)
 	}
 	var nilCache *predCache
-	if _, ok := nilCache.get(1, 0); ok {
+	if _, ok := nilCache.get(1, f0); ok {
 		t.Fatal("nil cache must miss")
 	}
-	nilCache.put(1, 0, p(1)) // must not panic
-	nilCache.invalidate(1)
+	nilCache.put(1, f0, p(1)) // must not panic
+	nilCache.invalidate(f0)
 }
 
 // TestBackoff pins the jittered-exponential bounds.

@@ -51,6 +51,10 @@ type ReplicaSnapshot struct {
 // loads are atomic; the copy as a whole is not a consistent cut, which
 // is fine for monitoring.
 type Snapshot struct {
+	// Kernel is the published snapshot's serving kernel kind ("f32" or
+	// "int8"; the nil fallback-only view reports "f32").
+	Kernel string `json:"kernel"`
+
 	Requests         int64 `json:"requests"`
 	Retries          int64 `json:"retries"`
 	BudgetExhausted  int64 `json:"budget_exhausted"`
@@ -79,6 +83,7 @@ type Snapshot struct {
 // one ReplicaSnapshot per replica.
 func (c *Cluster) Stats() Snapshot {
 	var out Snapshot
+	out.Kernel = string(viewKernel(c.view.Load()))
 	out.Requests = c.st.requests.Load()
 	out.Retries = c.st.retries.Load()
 	out.BudgetExhausted = c.budget.exhausted.Load()
@@ -125,8 +130,8 @@ func (c *Cluster) Stats() Snapshot {
 // prints in cluster mode.
 func (sn Snapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cluster: %d requests, %d retries (%d budget-exhausted), %d hedges (%d won), %d degraded (%d deadline), %d swaps\n",
-		sn.Requests, sn.Retries, sn.BudgetExhausted, sn.Hedges, sn.HedgeWins, sn.Degraded, sn.DeadlineDegraded, sn.Swaps)
+	fmt.Fprintf(&b, "cluster [%s]: %d requests, %d retries (%d budget-exhausted), %d hedges (%d won), %d degraded (%d deadline), %d swaps\n",
+		sn.Kernel, sn.Requests, sn.Retries, sn.BudgetExhausted, sn.Hedges, sn.HedgeWins, sn.Degraded, sn.DeadlineDegraded, sn.Swaps)
 	if sn.CacheHits+sn.CacheMisses > 0 {
 		fmt.Fprintf(&b, "cache: %d hits, %d misses (%.1f%% hit rate)\n",
 			sn.CacheHits, sn.CacheMisses, 100*sn.CacheHitRate)

@@ -28,8 +28,16 @@ import (
 // previous complete checkpoint or the new complete checkpoint, never a
 // hybrid.
 
-// frameVersion is the current checkpoint format version.
-const frameVersion = 1
+// Frame format versions. The version byte names the payload schema, so
+// a float32 predictor frame and a quantized snapshot frame can never be
+// confused for one another: loading either through the other's loader
+// fails with ErrCorrupt at the header, before any gob decoding.
+const (
+	// frameVersion is the float32 predictor checkpoint format.
+	frameVersion = 1
+	// frameVersionQuant is the int8 quantized snapshot format.
+	frameVersionQuant = 2
+)
 
 var frameMagic = [8]byte{'P', 'R', 'I', 'O', 'N', 'N', 0, frameVersion}
 
@@ -48,10 +56,17 @@ var (
 	ErrCorrupt = errors.New("prionn: corrupt checkpoint")
 )
 
-// writeFrame writes the header and payload to w.
+// writeFrame writes a v1 (float32 predictor) frame to w.
 func writeFrame(w io.Writer, payload []byte) error {
+	return writeFrameV(w, frameVersion, payload)
+}
+
+// writeFrameV writes the header (with the given format version byte)
+// and payload to w.
+func writeFrameV(w io.Writer, version byte, payload []byte) error {
 	var hdr [frameHeaderLen]byte
 	copy(hdr[:8], frameMagic[:])
+	hdr[7] = version
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
 	sum := sha256.Sum256(payload)
 	copy(hdr[16:], sum[:])
@@ -62,8 +77,14 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame consumes r and returns the verified payload.
+// readFrame consumes r and returns the verified payload of a v1 frame.
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameV(r, frameVersion)
+}
+
+// readFrameV consumes r and returns the verified payload, requiring the
+// frame's version byte to match the expected payload schema.
+func readFrameV(r io.Reader, version byte) ([]byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
@@ -74,8 +95,8 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if !bytes.Equal(hdr[:7], frameMagic[:7]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if hdr[7] != frameVersion {
-		return nil, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, hdr[7])
+	if hdr[7] != version {
+		return nil, fmt.Errorf("%w: format version %d, want %d", ErrCorrupt, hdr[7], version)
 	}
 	declared := binary.LittleEndian.Uint64(hdr[8:16])
 	// Read what is actually there rather than allocating the declared
@@ -104,13 +125,19 @@ func readFrame(r io.Reader) ([]byte, error) {
 // removed best-effort (a simulated crash skips even that, as a real
 // crash would).
 func atomicWriteFile(fsys fault.FS, path string, payload []byte) error {
+	return atomicWriteFileV(fsys, path, frameVersion, payload)
+}
+
+// atomicWriteFileV is atomicWriteFile with an explicit frame format
+// version byte (quantized snapshots persist as frameVersionQuant).
+func atomicWriteFileV(fsys fault.FS, path string, version byte, payload []byte) error {
 	tmp := path + ".tmp"
 	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
 	cleanup := func() { _ = fsys.Remove(tmp) } // best-effort; path is still intact
-	if err := writeFrame(f, payload); err != nil {
+	if err := writeFrameV(f, version, payload); err != nil {
 		_ = f.Close() // the write error is the one to report
 		cleanup()
 		return err

@@ -62,3 +62,69 @@ func FuzzLoadPredictor(f *testing.F) {
 		}
 	})
 }
+
+// FuzzQuantizedLoad is FuzzLoadPredictor's twin for the quantized
+// snapshot frame: LoadQuantized never panics and never returns a
+// snapshot from damaged input, rejecting with typed errors. The seeds
+// include a valid float32 predictor frame, which the quantized loader
+// must refuse at the version byte.
+func FuzzQuantizedLoad(f *testing.F) {
+	jobs := testJobs(30)
+	cfg := TinyConfig()
+	cfg.Epochs = 1
+	scripts := make([]string, len(jobs))
+	for i, j := range jobs {
+		scripts[i] = j.Script
+	}
+	p, err := New(cfg, scripts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := p.Train(jobs); err != nil {
+		f.Fatal(err)
+	}
+	q, err := p.SnapshotQuantized(jobs[:10])
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := q.SaveQuantized(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	var fbuf bytes.Buffer
+	if err := p.Save(&fbuf); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:frameHeaderLen])
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), valid...), 0xde, 0xad))
+	f.Add(fbuf.Bytes()) // a float32 frame: wrong version byte
+	f.Add(bytes.Repeat([]byte{0xff}, 256))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := LoadQuantized(bytes.NewReader(data))
+		if err != nil {
+			if v != nil {
+				t.Fatal("LoadQuantized returned both a snapshot and an error")
+			}
+			return
+		}
+		if v == nil {
+			t.Fatal("LoadQuantized returned neither a snapshot nor an error")
+		}
+		if v.Kernel() != KernelInt8 {
+			t.Fatalf("accepted snapshot has kernel %q", v.Kernel())
+		}
+		if _, ferr := readFrameV(bytes.NewReader(data), frameVersionQuant); errors.Is(ferr, ErrTruncated) || errors.Is(ferr, ErrCorrupt) {
+			t.Fatalf("LoadQuantized accepted bytes the frame layer rejects: %v", ferr)
+		}
+	})
+}

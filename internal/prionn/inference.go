@@ -31,11 +31,45 @@ type Inference struct {
 	write   *nn.Sequential
 	power   *nn.Sequential
 
+	// kernel selects the forward-pass arithmetic: KernelF32 runs the
+	// float heads above; KernelInt8 runs the quantized heads below
+	// (built by Predictor.SnapshotQuantized, restored by LoadQuantized).
+	kernel   KernelKind
+	qruntime *nn.QModel
+	qread    *nn.QModel
+	qwrite   *nn.QModel
+	qpower   *nn.QModel
+
 	rbins runtimeBins
 	iobin ioBins
 	pbins ioBins
 
 	trained bool
+}
+
+// KernelKind names the forward-pass arithmetic of an Inference. It is
+// part of a snapshot's identity: the serving layers tag caches and
+// stats with it, because f32 and int8 snapshots of the same weights are
+// distinct predictors (they may disagree on a small fraction of bin
+// assignments, within the accuracy gate's bound).
+type KernelKind string
+
+const (
+	// KernelF32 is the float32 blocked-GEMM path (the default).
+	KernelF32 KernelKind = "f32"
+	// KernelInt8 is the quantized path: int8 weights, uint8
+	// activations, int32 accumulation, dequantized only at the logits.
+	KernelInt8 KernelKind = "int8"
+)
+
+// Kernel returns the view's forward-pass kind. The zero value of
+// Inference (and every snapshot taken before quantization existed)
+// reports KernelF32.
+func (v *Inference) Kernel() KernelKind {
+	if v.kernel == "" {
+		return KernelF32
+	}
+	return v.kernel
 }
 
 // view returns an Inference sharing the predictor's heads in place —
@@ -74,6 +108,10 @@ func (p *Predictor) Snapshot() (*Inference, error) {
 // therefore hands each replica its own Clone so the replicas' inference
 // loops never touch common layer state. Clones are bitwise-equivalent:
 // a prediction from a clone is identical to one from the original.
+//
+// Quantized heads are immutable and stateless (see nn.QModel), so an
+// int8 view's clone shares them — the deep copy applies only to the
+// float heads, which an int8 snapshot does not carry.
 func (v *Inference) Clone() (*Inference, error) {
 	out := *v
 	// Fresh heads are built with a throwaway RNG (their He-init values
@@ -161,6 +199,9 @@ func (v *Inference) MapTexts(texts []string) *tensor.Tensor {
 //
 //prionnvet:confined
 func (v *Inference) PredictMapped(x *tensor.Tensor) []Prediction {
+	if v.Kernel() == KernelInt8 {
+		return v.predictMappedInt8(x)
+	}
 	n := x.Dim(0)
 	out := make([]Prediction, n)
 	for i, c := range v.runtime.PredictClasses(x) {
@@ -176,6 +217,33 @@ func (v *Inference) PredictMapped(x *tensor.Tensor) []Prediction {
 	}
 	if v.cfg.PredictPower {
 		for i, c := range v.power.PredictClasses(x) {
+			out[i].PowerW = v.pbins.Bytes(c)
+		}
+	}
+	return out
+}
+
+// predictMappedInt8 is the quantized forward stage: identical decoding,
+// but the classes come from the int8 heads. The quantized models
+// allocate per call and cache nothing, so this path has no per-view
+// mutable state — the goroutine confinement of an int8 Inference is
+// inherited from the type contract, not required by it.
+func (v *Inference) predictMappedInt8(x *tensor.Tensor) []Prediction {
+	n := x.Dim(0)
+	out := make([]Prediction, n)
+	for i, c := range v.qruntime.PredictClasses(x) {
+		out[i].RuntimeMin = v.rbins.Minutes(c)
+	}
+	if v.cfg.PredictIO {
+		for i, c := range v.qread.PredictClasses(x) {
+			out[i].ReadBytes = v.iobin.Bytes(c)
+		}
+		for i, c := range v.qwrite.PredictClasses(x) {
+			out[i].WriteBytes = v.iobin.Bytes(c)
+		}
+	}
+	if v.cfg.PredictPower {
+		for i, c := range v.qpower.PredictClasses(x) {
 			out[i].PowerW = v.pbins.Bytes(c)
 		}
 	}

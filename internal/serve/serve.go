@@ -167,8 +167,17 @@ func (s *Server) Swap(v *prionn.Inference) *prionn.Inference {
 // View returns the currently published snapshot (nil if none).
 func (s *Server) View() *prionn.Inference { return s.view.Load() }
 
-// Stats returns a point-in-time copy of the serving counters.
-func (s *Server) Stats() Snapshot { return s.st.snapshot() }
+// Stats returns a point-in-time copy of the serving counters, stamped
+// with the published snapshot's kernel kind.
+func (s *Server) Stats() Snapshot {
+	sn := s.st.snapshot()
+	if v := s.view.Load(); v != nil {
+		sn.Kernel = string(v.Kernel())
+	} else {
+		sn.Kernel = string(prionn.KernelF32)
+	}
+	return sn
+}
 
 // Predict submits one job for prediction and blocks until the
 // coalesced batch containing it is served, the context is canceled, or

@@ -70,6 +70,11 @@ func (s *stats) recordBatch(size int, mapDur, forwardDur time.Duration) {
 // Snapshot is an expvar-style point-in-time copy of the serving
 // counters, safe to marshal, print, or diff against an earlier one.
 type Snapshot struct {
+	// Kernel is the published snapshot's serving kernel kind ("f32" or
+	// "int8"; a server with no published snapshot reports "f32", the
+	// default path a future Swap would have to beat).
+	Kernel string `json:"kernel"`
+
 	Admitted int64 `json:"admitted"`
 	Rejected int64 `json:"rejected"`
 	Served   int64 `json:"served"`
@@ -131,8 +136,12 @@ func (sn Snapshot) MeanBatch() float64 {
 // prints.
 func (sn Snapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "served %d (model) + %d (fallback), %d errored; admitted %d, rejected %d\n",
-		sn.Served, sn.Fallback, sn.Errored, sn.Admitted, sn.Rejected)
+	kernel := ""
+	if sn.Kernel != "" {
+		kernel = "[" + sn.Kernel + "] "
+	}
+	fmt.Fprintf(&b, "%sserved %d (model) + %d (fallback), %d errored; admitted %d, rejected %d\n",
+		kernel, sn.Served, sn.Fallback, sn.Errored, sn.Admitted, sn.Rejected)
 	if sn.Canceled > 0 || sn.DeadlineExceeded > 0 {
 		fmt.Fprintf(&b, "abandoned waits: %d canceled, %d deadline-exceeded\n",
 			sn.Canceled, sn.DeadlineExceeded)

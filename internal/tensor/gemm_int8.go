@@ -1,0 +1,373 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// Blocked int8 GEMM core: the quantized-inference twin of gemm.go.
+//
+// The kernel computes C_i32[m,n] = A_s8[m,k] · B_u8[k,n] with int32
+// accumulation, following the same Goto/BLIS decomposition as the
+// float32 path: KC-deep k panels, B packed into NR-wide column strips,
+// A into MR-tall row strips, and an MR×NR register-tiled micro-kernel.
+// The k dimension is processed in quads of four bytes — the natural
+// granule of the VPDPBUSD instruction, which accumulates four u8·s8
+// products into one int32 lane per step — and panels are zero-padded up
+// to the next quad boundary. Padding bytes are zero on both operands,
+// so each pad contributes an exact 0 to its accumulator.
+//
+// Determinism. Integer addition is exact and associative: there is no
+// rounding anywhere between the int8 operands and the int32 result, so
+// any summation order over the same products yields identical bits. The
+// asm kernel (gemm_int8_amd64.s) and the pure-Go twin below therefore
+// agree bitwise by construction — unlike the float path, no reduction-
+// order argument is needed. Worker partitioning assigns whole output
+// cells (row or column stripes) to workers and never splits the k
+// reduction, mirroring gemm.go, so results are also invariant under any
+// worker count. Overflow cannot occur: |s8·u8| ≤ 127·255, and
+// 2^31/(127·255) ≈ 66k exceeds any k this codebase produces by orders
+// of magnitude.
+const (
+	// One packed B strip is KC×NR = 4KB of u8; one packed A panel is
+	// MC×KC = 32KB of s8 — both smaller than their float32 counterparts,
+	// so the float path's cache-driven blocking constants carry over.
+	qMR = gemmMR
+	qNR = gemmNR
+	qKC = gemmKC // multiple of 4: whole quads per panel
+	qMC = gemmMC
+	qNC = gemmNC
+)
+
+// useVNNIKernel selects the assembly micro-kernel. It is set once at
+// init on amd64 when the CPU supports AVX-512 VNNI at 256-bit width
+// (gemm_int8_amd64.go) and left false elsewhere; tests flip it to prove
+// the generic tile produces identical bytes.
+var useVNNIKernel atomic.Bool
+
+// int8View / uint8View adapt plain or transposed quantized operands to
+// the packing routines: logical element (i, j) lives at data[i*rs+j*cs].
+type int8View struct {
+	data   []int8
+	rs, cs int
+}
+
+type uint8View struct {
+	data   []uint8
+	rs, cs int
+}
+
+// qPackBufs is one worker's pair of packing buffers. They come from a
+// sync.Pool rather than the float32 Arena: the arena's free lists are
+// typed []float32 and these panels are byte-granular.
+type qPackBufs struct {
+	a []int8  // A panel: up to qMC × qKC bytes
+	b []uint8 // B panel: up to qKC × qNC bytes
+}
+
+var qPackPool = sync.Pool{New: func() any {
+	return &qPackBufs{
+		a: make([]int8, qMC*qKC),
+		b: make([]uint8, qKC*qNC),
+	}
+}}
+
+// GemmInt8 computes dst[i,j] = Σ_p a(i,p)·b(p,j) for i < m, j < n,
+// p < k, with int32 accumulation, dst rows ldc apart, a strided over
+// aData by (ars, acs) and b over bData by (brs, bcs). Every cell of the
+// m×n destination region is written (no pre-zeroing needed). This is
+// the quantized-inference entry point used by the nn package's int8
+// layers.
+func GemmInt8(dst []int32, ldc, m, n, k int, aData []int8, ars, acs int, bData []uint8, brs, bcs int) {
+	gemmInt8(dst, ldc, m, n, k, int8View{data: aData, rs: ars, cs: acs}, uint8View{data: bData, rs: brs, cs: bcs})
+}
+
+func gemmInt8(dst []int32, ldc, m, n, k int, a int8View, b uint8View) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	if k <= 0 {
+		for i := 0; i < m; i++ {
+			clear(dst[i*ldc : i*ldc+n])
+		}
+		return
+	}
+	qStripe(m, n, k, func(m0, m1, n0, n1 int) {
+		gemmInt8Serial(dst, ldc, m0, m1, n0, n1, k, a, b)
+	})
+}
+
+// qStripe partitions the m×n output across workers and calls serial for
+// each stripe, or once for the whole region when the problem is small or
+// only one worker is available. Stripes are aligned to the micro-tile
+// (qMR rows or qNR columns), so workers own whole output cells and never
+// split the k reduction — the determinism contract of the package.
+func qStripe(m, n, k int, serial func(m0, m1, n0, n1 int)) {
+	workers := MaxWorkers()
+	if workers > 1 && m*n*k >= gemmParallelMin {
+		if n >= m {
+			// Column stripes, aligned to the micro-tile width so only
+			// the rightmost stripe has a ragged edge.
+			stripes := (n + qNR - 1) / qNR
+			if stripes > workers {
+				stripes = workers
+			}
+			per := alignUp((n+stripes-1)/stripes, qNR)
+			ParallelForMin(stripes, 1, func(lo, hi int) {
+				for s := lo; s < hi; s++ {
+					n0, n1 := s*per, (s+1)*per
+					if n1 > n {
+						n1 = n
+					}
+					if n0 < n1 {
+						serial(0, m, n0, n1)
+					}
+				}
+			})
+		} else {
+			// Row stripes, aligned to the micro-tile height.
+			stripes := (m + qMR - 1) / qMR
+			if stripes > workers {
+				stripes = workers
+			}
+			per := alignUp((m+stripes-1)/stripes, qMR)
+			ParallelForMin(stripes, 1, func(lo, hi int) {
+				for s := lo; s < hi; s++ {
+					m0, m1 := s*per, (s+1)*per
+					if m1 > m {
+						m1 = m
+					}
+					if m0 < m1 {
+						serial(m0, m1, 0, n)
+					}
+				}
+			})
+		}
+		return
+	}
+	serial(0, m, 0, n)
+}
+
+// gemmInt8Serial runs the blocked int8 GEMM over the output region
+// [m0,m1)×[n0,n1) on one goroutine.
+func gemmInt8Serial(dst []int32, ldc, m0, m1, n0, n1, k int, a int8View, b uint8View) {
+	bufs := qPackPool.Get().(*qPackBufs)
+	pa, pb := bufs.a, bufs.b
+	for jc := n0; jc < n1; jc += qNC {
+		ncEff := min(qNC, n1-jc)
+		for pc := 0; pc < k; pc += qKC {
+			kcEff := min(qKC, k-pc)
+			kq := (kcEff + 3) / 4
+			// The first k-panel starts every accumulator chain at zero;
+			// later panels fold into the stored int32 cells.
+			zeroAcc := pc == 0
+			packBPanelU8(pb, b, pc, jc, kcEff, ncEff, kq)
+			for ic := m0; ic < m1; ic += qMC {
+				mcEff := min(qMC, m1-ic)
+				packAPanelS8(pa, a, ic, pc, mcEff, kcEff, kq)
+				for jr := 0; jr < ncEff; jr += qNR {
+					nrEff := min(qNR, ncEff-jr)
+					bStrip := pb[(jr/qNR)*qNR*kq*4:]
+					for ir := 0; ir < mcEff; ir += qMR {
+						mrEff := min(qMR, mcEff-ir)
+						aStrip := pa[(ir/qMR)*qMR*kq*4:]
+						microTileInt8(kq, aStrip, bStrip,
+							dst[(ic+ir)*ldc+jc+jr:], ldc, zeroAcc, mrEff, nrEff)
+					}
+				}
+			}
+		}
+	}
+	qPackPool.Put(bufs)
+}
+
+// packAPanelS8 packs the A sub-panel rows [i0, i0+mc) × cols [p0, p0+kc)
+// into MR-tall strips in quad layout: strip s holds, for each k-quad q,
+// the 4 rows' 4 consecutive k bytes — row r's quad lands at byte offset
+// (q·MR + r)·4, ready for one VPBROADCASTD. Rows past the panel edge and
+// k bytes past kc pack as zero; zero operands contribute an exact 0.
+func packAPanelS8(dst []int8, a int8View, i0, p0, mc, kc, kq int) {
+	idx := 0
+	for si := 0; si < mc; si += qMR {
+		rows := min(qMR, mc-si)
+		for q := 0; q < kq; q++ {
+			for r := 0; r < qMR; r++ {
+				if r >= rows {
+					dst[idx] = 0
+					dst[idx+1] = 0
+					dst[idx+2] = 0
+					dst[idx+3] = 0
+					idx += 4
+					continue
+				}
+				base := (i0+si+r)*a.rs + p0*a.cs
+				for t := 0; t < 4; t++ {
+					p := q*4 + t
+					if p < kc {
+						dst[idx] = a.data[base+p*a.cs]
+					} else {
+						dst[idx] = 0
+					}
+					idx++
+				}
+			}
+		}
+	}
+}
+
+// packBPanelU8 packs the B sub-panel rows [p0, p0+kc) × cols [j0, j0+nc)
+// into NR-wide strips in quad layout: strip s holds, for each k-quad q,
+// the 16 columns' 4 consecutive k bytes — column j's quad lands at byte
+// offset (q·NR + j)·4, so one quad is a 64-byte group read as two ymm
+// registers of eight dword lanes (one lane per column).
+func packBPanelU8(dst []uint8, b uint8View, p0, j0, kc, nc, kq int) {
+	if b.cs == 1 {
+		packBPanelU8RowMajor(dst, b, p0, j0, kc, nc, kq)
+		return
+	}
+	idx := 0
+	for sj := 0; sj < nc; sj += qNR {
+		cols := min(qNR, nc-sj)
+		for q := 0; q < kq; q++ {
+			for j := 0; j < qNR; j++ {
+				if j >= cols {
+					dst[idx] = 0
+					dst[idx+1] = 0
+					dst[idx+2] = 0
+					dst[idx+3] = 0
+					idx += 4
+					continue
+				}
+				base := p0*b.rs + (j0+sj+j)*b.cs
+				for t := 0; t < 4; t++ {
+					p := q*4 + t
+					if p < kc {
+						dst[idx] = b.data[base+p*b.rs]
+					} else {
+						dst[idx] = 0
+					}
+					idx++
+				}
+			}
+		}
+	}
+}
+
+// packBPanelU8RowMajor is the cache-friendly path for row-major B
+// (cs == 1) — every B this codebase produces. The generic path walks
+// each column's k bytes at stride rs; for the conv column matrix rs is
+// N·OH·OW (tens of kilobytes), so every packed byte touched a fresh
+// cache line and B packing dominated the serving profile. Here the four
+// source k-rows of each quad are read as contiguous spans and scattered
+// into the quad layout, whose writes for one quad stay inside a single
+// 64-byte group. The packed bytes are identical to the generic path's.
+func packBPanelU8RowMajor(dst []uint8, b uint8View, p0, j0, kc, nc, kq int) {
+	// Quads outer, column strips inner: for one quad the four source
+	// k-rows are then consumed left to right as sequential streams
+	// (strip order would instead hop rs ≈ tens-of-KB between 16-byte
+	// reads — a fresh page per read). Writes land at stripBase+qOff,
+	// which walks the panel at stride kq·64; the whole panel is at most
+	// qKC·qNC bytes and stays cache-resident.
+	for q := 0; q < kq; q++ {
+		base := (p0+q*4)*b.rs + j0
+		qOff := q * qNR * 4
+		if q*4+4 <= kc {
+			r0 := b.data[base : base+nc]
+			r1 := b.data[base+b.rs : base+b.rs+nc]
+			r2 := b.data[base+2*b.rs : base+2*b.rs+nc]
+			r3 := b.data[base+3*b.rs : base+3*b.rs+nc]
+			for sj := 0; sj < nc; sj += qNR {
+				cols := min(qNR, nc-sj)
+				out := dst[sj*kq*4+qOff : sj*kq*4+qOff+qNR*4]
+				for j := 0; j < cols; j++ {
+					// One dword store per column quad. The layout is
+					// defined in bytes (k byte t at offset j·4+t), so the
+					// explicit little-endian write is platform-independent.
+					binary.LittleEndian.PutUint32(out[j*4:],
+						uint32(r0[sj+j])|uint32(r1[sj+j])<<8|uint32(r2[sj+j])<<16|uint32(r3[sj+j])<<24)
+				}
+				if cols < qNR {
+					fillU8(out[cols*4:], 0)
+				}
+			}
+		} else {
+			// Ragged final quad: 1–3 valid k rows, rest packs zero.
+			rem := kc - q*4
+			for sj := 0; sj < nc; sj += qNR {
+				cols := min(qNR, nc-sj)
+				out := dst[sj*kq*4+qOff : sj*kq*4+qOff+qNR*4]
+				for j := 0; j < cols; j++ {
+					o := j * 4
+					for t := 0; t < 4; t++ {
+						if t < rem {
+							out[o+t] = b.data[base+t*b.rs+sj+j]
+						} else {
+							out[o+t] = 0
+						}
+					}
+				}
+				if cols < qNR {
+					fillU8(out[cols*4:], 0)
+				}
+			}
+		}
+	}
+}
+
+// microTileInt8 multiplies one packed MR-strip of A by one packed
+// NR-strip of B, folding the int32 result into the dst tile at row
+// stride ldc. Full interior tiles go straight to the VNNI kernel; edge
+// tiles round-trip through a fixed-size scratch tile so the kernel
+// never writes past the valid region.
+func microTileInt8(kq int, pa []int8, pb []uint8, dst []int32, ldc int, zeroAcc bool, mrEff, nrEff int) {
+	if mrEff == qMR && nrEff == qNR && useVNNIKernel.Load() {
+		z := int64(0)
+		if zeroAcc {
+			z = 1
+		}
+		vnniTile4x16(int64(kq), &pa[0], &pb[0], &dst[0], int64(ldc), z)
+		return
+	}
+	var tile [qMR * qNR]int32
+	if !zeroAcc {
+		for r := 0; r < mrEff; r++ {
+			copy(tile[r*qNR:r*qNR+nrEff], dst[r*ldc:r*ldc+nrEff])
+		}
+	}
+	if useVNNIKernel.Load() {
+		// The tile is pre-seeded (zeros or dst), so the kernel always
+		// loads its accumulators.
+		vnniTile4x16(int64(kq), &pa[0], &pb[0], &tile[0], qNR, 0)
+	} else {
+		vnniTileGeneric(kq, pa, pb, &tile)
+	}
+	for r := 0; r < mrEff; r++ {
+		copy(dst[r*ldc:r*ldc+nrEff], tile[r*qNR:r*qNR+nrEff])
+	}
+}
+
+// vnniTileGeneric is the portable micro-kernel: the same MR×NR int32
+// tile update as the assembly version. Each output cell folds kq quads
+// of four u8·s8 products into its accumulator; because every operation
+// is exact integer arithmetic, the result is bitwise identical to the
+// VPDPBUSD kernel regardless of summation order.
+func vnniTileGeneric(kq int, pa []int8, pb []uint8, tile *[qMR * qNR]int32) {
+	for q := 0; q < kq; q++ {
+		aOff := q * qMR * 4
+		bOff := q * qNR * 4
+		for r := 0; r < qMR; r++ {
+			a0 := int32(pa[aOff+r*4])
+			a1 := int32(pa[aOff+r*4+1])
+			a2 := int32(pa[aOff+r*4+2])
+			a3 := int32(pa[aOff+r*4+3])
+			for s := 0; s < qNR; s++ {
+				bo := bOff + s*4
+				tile[r*qNR+s] += a0*int32(pb[bo]) +
+					a1*int32(pb[bo+1]) +
+					a2*int32(pb[bo+2]) +
+					a3*int32(pb[bo+3])
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// AVX-512 VNNI micro-kernel for the blocked int8 GEMM (see
+// gemm_int8.go). Only used after gemm_int8_amd64.go verifies CPU and OS
+// support at init.
+
+#include "textflag.h"
+
+// func vnniTile4x16(kq int64, pa *int8, pb *uint8, c *int32, ldc int64, zeroAcc int64)
+//
+// Computes, for r in 0..3 and s in 0..15:
+//
+//	C[r*ldc+s] += Σ_q Σ_t pa[(q*4+r)*4+t] · pb[(q*16+s)*4+t]
+//
+// over q = 0..kq-1, t = 0..3, seeding each accumulator with C
+// (zeroAcc == 0) or 0 (zeroAcc != 0). One VPDPBUSD folds a quad of four
+// u8·s8 products into each of eight int32 lanes; the widening products
+// and the lane sum are exact, so the result matches vnniTileGeneric bit
+// for bit (integer arithmetic has no rounding to reorder).
+//
+// Register plan: Y8..Y15 hold the 4×16 accumulator tile (4 rows × two
+// 8-lane halves); Y0/Y1 hold the current packed-B quad group (16
+// columns × 4 bytes); Y2..Y5 broadcast the four packed-A row quads.
+// Go assembler operand order: VPDPBUSD signed_src, unsigned_src, acc.
+TEXT ·vnniTile4x16(SB), NOSPLIT, $0-48
+	MOVQ kq+0(FP), CX
+	MOVQ pa+8(FP), SI
+	MOVQ pb+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8              // row stride in bytes
+	MOVQ zeroAcc+40(FP), R9
+
+	LEAQ (DX)(R8*1), R10     // row 1
+	LEAQ (R10)(R8*1), R11    // row 2
+	LEAQ (R11)(R8*1), R12    // row 3
+
+	TESTQ R9, R9
+	JNZ   zero
+
+	VMOVDQU (DX), Y8
+	VMOVDQU 32(DX), Y9
+	VMOVDQU (R10), Y10
+	VMOVDQU 32(R10), Y11
+	VMOVDQU (R11), Y12
+	VMOVDQU 32(R11), Y13
+	VMOVDQU (R12), Y14
+	VMOVDQU 32(R12), Y15
+	JMP     loop
+
+zero:
+	VPXOR Y8, Y8, Y8
+	VPXOR Y9, Y9, Y9
+	VPXOR Y10, Y10, Y10
+	VPXOR Y11, Y11, Y11
+	VPXOR Y12, Y12, Y12
+	VPXOR Y13, Y13, Y13
+	VPXOR Y14, Y14, Y14
+	VPXOR Y15, Y15, Y15
+
+loop:
+	TESTQ CX, CX
+	JZ    done
+
+	VMOVDQU (DI), Y0         // B quad group, columns 0..7
+	VMOVDQU 32(DI), Y1       // B quad group, columns 8..15
+
+	VPBROADCASTD (SI), Y2    // A row 0 quad
+	VPBROADCASTD 4(SI), Y3   // A row 1 quad
+	VPDPBUSD     Y2, Y0, Y8  // Y8 += u8(Y0)·s8(Y2) per dword lane
+	VPDPBUSD     Y2, Y1, Y9
+	VPDPBUSD     Y3, Y0, Y10
+	VPDPBUSD     Y3, Y1, Y11
+
+	VPBROADCASTD 8(SI), Y4   // A row 2 quad
+	VPBROADCASTD 12(SI), Y5  // A row 3 quad
+	VPDPBUSD     Y4, Y0, Y12
+	VPDPBUSD     Y4, Y1, Y13
+	VPDPBUSD     Y5, Y0, Y14
+	VPDPBUSD     Y5, Y1, Y15
+
+	ADDQ $16, SI             // next packed-A quad group (4 rows × 4 bytes)
+	ADDQ $64, DI             // next packed-B quad group (16 cols × 4 bytes)
+	DECQ CX
+	JMP  loop
+
+done:
+	VMOVDQU Y8, (DX)
+	VMOVDQU Y9, 32(DX)
+	VMOVDQU Y10, (R10)
+	VMOVDQU Y11, 32(R10)
+	VMOVDQU Y12, (R11)
+	VMOVDQU Y13, 32(R11)
+	VMOVDQU Y14, (R12)
+	VMOVDQU Y15, 32(R12)
+	VZEROUPPER
+	RET

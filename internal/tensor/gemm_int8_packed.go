@@ -1,0 +1,108 @@
+package tensor
+
+// Pre-packed left operand for the int8 GEMM. Quantized weights are
+// immutable after calibration, yet gemmInt8Serial re-packs the A panel
+// inside the jc loop — once per qNC-wide column block, which for a conv
+// forward (n = N·OH·OW, often tens of thousands of columns) means the
+// same weight bytes are re-laid-out over a hundred times per layer per
+// batch. PackInt8A performs that layout exactly once, at quantization
+// time, and GemmInt8PackedA consumes the frozen panels directly. The
+// packed bytes are byte-for-byte what packAPanelS8 would have produced,
+// so results are bitwise identical to GemmInt8 on the same operands.
+
+// PackedInt8A is an immutable m×k int8 matrix stored in the panel
+// layout consumed by the micro-kernel: for each qKC-deep k panel (outer)
+// and each qMC-tall row panel (inner), qMR-tall strips in quad layout.
+// Safe for concurrent use by any number of GEMM calls once built.
+type PackedInt8A struct {
+	m, k  int
+	numIC int    // row panels per k panel
+	offs  []int  // panel start offsets, indexed pcIdx*numIC + icIdx
+	data  []int8 // all panels, zero-padded to quad and strip boundaries
+}
+
+// Dims returns the logical (m, k) shape of the packed matrix.
+func (p *PackedInt8A) Dims() (m, k int) { return p.m, p.k }
+
+// PackInt8A packs the m×k matrix a — logical element (i, p) at
+// aData[i*ars+p*acs] — into panel layout. m and k must be positive.
+func PackInt8A(aData []int8, ars, acs, m, k int) *PackedInt8A {
+	if m <= 0 || k <= 0 {
+		panic("tensor: PackInt8A requires positive dimensions")
+	}
+	a := int8View{data: aData, rs: ars, cs: acs}
+	numPC := (k + qKC - 1) / qKC
+	numIC := (m + qMC - 1) / qMC
+	offs := make([]int, numPC*numIC)
+	size := 0
+	for pcIdx := 0; pcIdx < numPC; pcIdx++ {
+		kcEff := min(qKC, k-pcIdx*qKC)
+		kq := (kcEff + 3) / 4
+		for icIdx := 0; icIdx < numIC; icIdx++ {
+			mcEff := min(qMC, m-icIdx*qMC)
+			strips := (mcEff + qMR - 1) / qMR
+			offs[pcIdx*numIC+icIdx] = size
+			size += strips * qMR * kq * 4
+		}
+	}
+	p := &PackedInt8A{m: m, k: k, numIC: numIC, offs: offs, data: make([]int8, size)}
+	for pcIdx := 0; pcIdx < numPC; pcIdx++ {
+		kcEff := min(qKC, k-pcIdx*qKC)
+		kq := (kcEff + 3) / 4
+		for icIdx := 0; icIdx < numIC; icIdx++ {
+			mcEff := min(qMC, m-icIdx*qMC)
+			packAPanelS8(p.data[offs[pcIdx*numIC+icIdx]:], a, icIdx*qMC, pcIdx*qKC, mcEff, kcEff, kq)
+		}
+	}
+	return p
+}
+
+// GemmInt8PackedA is GemmInt8 with a pre-packed left operand: it
+// computes dst[i,j] = Σ_p pa(i,p)·b(p,j) for i < pa.m, j < n, with dst
+// rows ldc apart and b strided over bData by (brs, bcs). Bitwise
+// identical to GemmInt8 on the unpacked matrix, for any worker count.
+func GemmInt8PackedA(dst []int32, ldc, n int, pa *PackedInt8A, bData []uint8, brs, bcs int) {
+	if n <= 0 {
+		return
+	}
+	b := uint8View{data: bData, rs: brs, cs: bcs}
+	qStripe(pa.m, n, pa.k, func(m0, m1, n0, n1 int) {
+		gemmInt8SerialPackedA(dst, ldc, m0, m1, n0, n1, pa, b)
+	})
+}
+
+// gemmInt8SerialPackedA is gemmInt8Serial with the A-packing step
+// replaced by offset arithmetic into the frozen panels. Row stripes from
+// qStripe are qMR-aligned and qMC panel origins are multiples of qMR, so
+// a stripe boundary always lands on a strip boundary: the strip holding
+// output row ir of panel ic starts at ((ir-ic)/qMR)·qMR·kq·4.
+func gemmInt8SerialPackedA(dst []int32, ldc, m0, m1, n0, n1 int, pa *PackedInt8A, b uint8View) {
+	bufs := qPackPool.Get().(*qPackBufs)
+	pb := bufs.b
+	k := pa.k
+	for jc := n0; jc < n1; jc += qNC {
+		ncEff := min(qNC, n1-jc)
+		for pc, pcIdx := 0, 0; pc < k; pc, pcIdx = pc+qKC, pcIdx+1 {
+			kcEff := min(qKC, k-pc)
+			kq := (kcEff + 3) / 4
+			zeroAcc := pc == 0
+			packBPanelU8(pb, b, pc, jc, kcEff, ncEff, kq)
+			for ic := (m0 / qMC) * qMC; ic < m1; ic += qMC {
+				panel := pa.data[pa.offs[pcIdx*pa.numIC+ic/qMC]:]
+				row0 := max(m0, ic)
+				row1 := min(m1, ic+qMC)
+				for jr := 0; jr < ncEff; jr += qNR {
+					nrEff := min(qNR, ncEff-jr)
+					bStrip := pb[(jr/qNR)*qNR*kq*4:]
+					for ir := row0; ir < row1; ir += qMR {
+						mrEff := min(qMR, row1-ir)
+						aStrip := panel[((ir-ic)/qMR)*qMR*kq*4:]
+						microTileInt8(kq, aStrip, bStrip,
+							dst[ir*ldc+jc+jr:], ldc, zeroAcc, mrEff, nrEff)
+					}
+				}
+			}
+		}
+	}
+	qPackPool.Put(bufs)
+}

@@ -11,10 +11,13 @@
 # coalescing speedup ratio. Then runs the cluster family (replica
 # scaling, script-affinity caching, hedging) and rewrites
 # BENCH_cluster.json with predictions/sec, cache hit rate, dispatch
-# p50/p99, and the 4-replica aggregate speedup. Finally runs the
-# prionnvet analysis benchmarks (full gate sweep plus the per-layer
-# substrate breakdown: def-use index, call graph, lockset engine) and
-# rewrites BENCH_analysis.json.
+# p50/p99, and the 4-replica aggregate speedup. Then runs the quantized
+# f32-vs-int8 pairs (uncached serving and uncached 4-replica cluster on
+# the conv-dominated FastConfig fixture) and rewrites BENCH_quant.json
+# with the int8 speedups, snapshot size fraction, and class disagreement
+# rate. Finally runs the prionnvet analysis benchmarks (full gate sweep
+# plus the per-layer substrate breakdown: def-use index, call graph,
+# lockset engine) and rewrites BENCH_analysis.json.
 #
 # Usage: scripts/bench.sh [benchtime]   (default 1s; pass e.g. 1x for a
 # smoke run that only checks the benchmarks still execute)
@@ -31,18 +34,20 @@ trap 'rm -f "$tmp"' EXIT
 
 serve_tmp="$(mktemp)"
 cluster_tmp="$(mktemp)"
+quant_tmp="$(mktemp)"
 analysis_tmp="$(mktemp)"
-trap 'rm -f "$tmp" "$serve_tmp" "$cluster_tmp" "$analysis_tmp"' EXIT
+trap 'rm -f "$tmp" "$serve_tmp" "$cluster_tmp" "$quant_tmp" "$analysis_tmp"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime="$benchtime" . | tee "$tmp"
 go test -run '^$' -bench '^BenchmarkServe' -benchmem -benchtime="$benchtime" ./internal/serve/ | tee "$serve_tmp"
 go test -run '^$' -bench '^BenchmarkCluster' -benchmem -benchtime="$benchtime" ./internal/cluster/ | tee "$cluster_tmp"
+go test -run '^$' -bench '^BenchmarkQuant' -benchmem -benchtime="$benchtime" ./internal/serve/ ./internal/cluster/ | tee "$quant_tmp"
 go test -run '^$' -bench '^(BenchmarkPrionnvetRunAll$|BenchmarkAnalysisRepoWide)' -benchmem -benchtime="$benchtime" . | tee "$analysis_tmp"
 
 # Only rewrite the committed snapshots on real timing runs; -benchtime=1x
 # numbers are startup noise.
 if [ "$benchtime" = "1x" ]; then
-    echo "smoke run: BENCH_kernels.json, BENCH_serve.json, BENCH_cluster.json, and BENCH_analysis.json left untouched"
+    echo "smoke run: BENCH_kernels.json, BENCH_serve.json, BENCH_cluster.json, BENCH_quant.json, and BENCH_analysis.json left untouched"
     exit 0
 fi
 
@@ -130,6 +135,52 @@ END {
 ' "$cluster_tmp" > BENCH_cluster.json
 
 echo "wrote BENCH_cluster.json"
+
+# BENCH_quant.json: the f32-vs-int8 pairs on the conv-dominated fixture.
+# Each entry derives predictions/sec; the int8 serving entry carries the
+# snapshot sizes and the class disagreement rate vs float32. The derived
+# trailing keys are the acceptance numbers: int8_speedup_serve and
+# int8_speedup_cluster (f32 ns_op / int8 ns_op, uncached both times) and
+# snapshot_fraction (int8 snapshot bytes / float32 checkpoint bytes).
+awk '
+BEGIN { print "{"; sep = "" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = "null"; allocs = "null"; snap = ""; dis = ""; p50 = ""; p99 = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "snap-bytes") snap = $(i - 1)
+        if ($i == "disagree-rate") dis = $(i - 1)
+        if ($i == "p50-ns") p50 = $(i - 1)
+        if ($i == "p99-ns") p99 = $(i - 1)
+    }
+    if (name ~ /QuantServeF32$/) serve_f32 = ns
+    if (name ~ /QuantServeInt8$/) serve_int8 = ns
+    if (name ~ /QuantCluster4F32NoCache$/) cluster_f32 = ns
+    if (name ~ /QuantCluster4Int8NoCache$/) cluster_int8 = ns
+    if (name ~ /QuantServeF32$/ && snap != "") f32_bytes = snap
+    if (name ~ /QuantServeInt8$/ && snap != "") int8_bytes = snap
+    printf "%s  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s, \"predictions_per_sec\": %.0f", sep, name, ns, allocs, 1e9 / ns
+    if (snap != "") printf ", \"snapshot_bytes\": %.0f", snap
+    if (dis != "") printf ", \"class_disagree_rate\": %s", dis
+    if (p50 != "") printf ", \"dispatch_p50_ns\": %.0f, \"dispatch_p99_ns\": %.0f", p50, p99
+    printf "}"
+    sep = ",\n"
+}
+END {
+    if (serve_f32 != "" && serve_int8 != "")
+        printf "%s  \"int8_speedup_serve\": %.2f", sep, serve_f32 / serve_int8
+    if (cluster_f32 != "" && cluster_int8 != "")
+        printf ",\n  \"int8_speedup_cluster\": %.2f", cluster_f32 / cluster_int8
+    if (f32_bytes != "" && int8_bytes != "")
+        printf ",\n  \"snapshot_fraction\": %.3f", int8_bytes / f32_bytes
+    print "\n}"
+}
+' "$quant_tmp" > BENCH_quant.json
+
+echo "wrote BENCH_quant.json"
 
 # BENCH_analysis.json: the full gate sweep (every checker over every
 # package) plus the per-layer substrate costs. Sub-benchmark names like

@@ -24,14 +24,19 @@
 #                      purity, breaker transitions, retry-budget
 #                      exhaustion, full degradation, and the serve
 #                      drain-race pin)
-#  10. bench smoke    (one iteration of each kernel, serving, cluster,
-#                      and analysis benchmark via scripts/bench.sh 1x;
-#                      real timings are recorded separately into
-#                      BENCH_kernels.json, BENCH_serve.json,
-#                      BENCH_cluster.json, and BENCH_analysis.json)
-#  11. go test -fuzz  (short smoke run of each fuzz target: the mapping
+#  10. quant gate     (the int8 path's accuracy gate and serving parity:
+#                      quantized accuracy within 0.5pp of float32 on
+#                      held-out jobs, bounded class flip rate, and the
+#                      cluster cache's kernel-stamp invalidation)
+#  11. bench smoke    (one iteration of each kernel, serving, cluster,
+#                      quantized f32-vs-int8, and analysis benchmark via
+#                      scripts/bench.sh 1x; real timings are recorded
+#                      separately into BENCH_kernels.json,
+#                      BENCH_serve.json, BENCH_cluster.json,
+#                      BENCH_quant.json, and BENCH_analysis.json)
+#  12. go test -fuzz  (short smoke run of each fuzz target: the mapping
 #                      crop/pad grid, the feature-directive parser, and
-#                      corrupt-checkpoint loading)
+#                      corrupt float and quantized checkpoint loading)
 #
 # Each step reports its wall-clock seconds on completion, so a slow
 # gate points at its own bottleneck. Exits nonzero on the first
@@ -109,9 +114,19 @@ go test -race -count=1 -run 'TestClusterChaos|TestClusterSwapNeverMixesBatches|T
 go test -race -count=1 -run 'TestServeStopRacesPredictSwapExactlyOnce' ./internal/serve/
 step_done
 
-# Benchmark smoke: one iteration of each kernel, serving, and analysis
-# benchmark proves the perf-trajectory harness still runs; timings come
-# from scripts/bench.sh.
+# Quantized-serving gate: the int8 path's acceptance tests, explicitly
+# (they also run in the suite above) — the accuracy gate vs float32 on
+# held-out jobs, clone determinism of quantized predictions, and the
+# cluster cache refusing to serve one kernel's memoized predictions
+# after a swap to the other.
+step "quantized gate (accuracy / determinism / cache stamps)"
+go test -count=1 -run 'TestQuantizedSnapshotAccuracyGate|TestQuantizedSnapshotDeterministicAcrossClones' ./internal/prionn/
+go test -count=1 -run 'TestClusterSwapKernelInvalidatesCache' ./internal/cluster/
+step_done
+
+# Benchmark smoke: one iteration of each kernel, serving, quantized,
+# and analysis benchmark proves the perf-trajectory harness still runs;
+# timings come from scripts/bench.sh.
 step "benchmark smoke (1 iteration)"
 sh scripts/bench.sh 1x > /dev/null
 step_done
@@ -125,6 +140,7 @@ go test -fuzz=FuzzMapScript -fuzztime=3s -run='^$' ./internal/mapping/
 go test -fuzz=FuzzExtract -fuzztime=3s -run='^$' ./internal/features/
 go test -fuzz=FuzzSplitDirective -fuzztime=3s -run='^$' ./internal/features/
 go test -fuzz=FuzzLoadPredictor -fuzztime=3s -run='^$' ./internal/prionn/
+go test -fuzz=FuzzQuantizedLoad -fuzztime=3s -run='^$' ./internal/prionn/
 step_done
 
 echo "all checks passed"
