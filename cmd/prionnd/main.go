@@ -12,6 +12,7 @@
 //	prionnd -demo 5000 -clients 64               # in-process throughput demo, no HTTP
 //	prionnd -replicas 4 -policy affinity ...     # fault-tolerant multi-replica cluster
 //	prionnd -quant -jobs 2000 ...                # serve the int8-quantized snapshot
+//	prionnd -retrain-every 100 -canary-frac 0.1  # close the online-learning loop
 //
 // With -replicas N > 1 the daemon serves from an internal/cluster of N
 // replicated coalescers behind a health-checked router: budgeted
@@ -20,6 +21,17 @@
 // when no replica can answer, /predict returns the request's own
 // requested runtime with "degraded": true instead of an error.
 //
+// With -retrain-every N > 0 the daemon runs the internal/pilot
+// online-learning pipeline: completed jobs POSTed to /complete stream
+// into a warm-start retraining loop (every N completions), each
+// candidate snapshot is shadow-evaluated against the serving model on
+// the last -shadow-window completions, and accepted candidates serve a
+// -canary-frac fraction of live traffic — with automatic rollback on
+// error or disagreement spikes — before being atomically promoted to
+// every replica. -retrain-ckpt persists the retraining state crash-
+// safely so a restarted daemon resumes instead of training from
+// scratch. /stats gains a "pipeline" object with the loop's state.
+//
 // Endpoints:
 //
 //	POST /predict  {"script": "...", "input_deck": "...", "requested_min": 60}
@@ -27,6 +39,10 @@
 //	                  "read_bw": ..., "write_bw": ..., "from_model": true}
 //	               503 with a text body when the admission queue is full;
 //	               504 when -request-timeout expires (single-replica mode).
+//	POST /complete {"script": "...", "actual_sec": 3420, "read_bytes": ...,
+//	               "write_bytes": ...} → 202; feeds one finished job to the
+//	               online-learning pipeline (requires -retrain-every > 0;
+//	               503 when the completion queue is full).
 //	GET  /stats    → JSON serving counters (queue depth, batch-size
 //	               histogram, per-stage latency, predictions served, the
 //	               published snapshot's kernel kind and persisted byte
@@ -66,6 +82,7 @@ import (
 	"time"
 
 	"prionn/internal/cluster"
+	"prionn/internal/pilot"
 	"prionn/internal/prionn"
 	"prionn/internal/serve"
 	"prionn/internal/trace"
@@ -80,6 +97,19 @@ type predictRequest struct {
 	Script       string `json:"script"`
 	InputDeck    string `json:"input_deck,omitempty"`
 	RequestedMin int    `json:"requested_min,omitempty"`
+}
+
+// completeRequest is the POST /complete wire format: one finished job
+// reported back to the daemon for the online-learning pipeline.
+type completeRequest struct {
+	Script       string  `json:"script"`
+	InputDeck    string  `json:"input_deck,omitempty"`
+	RequestedMin int     `json:"requested_min,omitempty"`
+	ActualSec    int64   `json:"actual_sec"`
+	ReadBytes    int64   `json:"read_bytes,omitempty"`
+	WriteBytes   int64   `json:"write_bytes,omitempty"`
+	AvgPowerW    float64 `json:"avg_power_w,omitempty"`
+	Canceled     bool    `json:"canceled,omitempty"`
 }
 
 // predictResponse is the POST /predict reply.
@@ -190,6 +220,11 @@ func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop f
 	reqTimeout := fs.Duration("request-timeout", 5*time.Second, "per-request deadline for /predict (0: none); in cluster mode expiry degrades to the requested runtime, in single mode it returns 504")
 	drainGrace := fs.Duration("drain-grace", 0, "pause between flipping /readyz to 503 and closing admission, so load balancers drain first")
 	noFallback := fs.Bool("no-fallback", false, "report not-ready on /readyz until a trained snapshot is published")
+
+	retrainEvery := fs.Int("retrain-every", 0, "completed jobs (POST /complete) between online retraining events (0: online learning off)")
+	shadowWindow := fs.Int("shadow-window", 64, "most recent completions replayed by the shadow-evaluation gate")
+	canaryFrac := fs.Float64("canary-frac", 0.1, "live-traffic fraction served by an accepted candidate during its canary stage")
+	retrainCkpt := fs.String("retrain-ckpt", "", "crash-safe checkpoint path for the online-retrain predictor (loaded on restart)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -197,7 +232,19 @@ func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop f
 		_, _ = fmt.Fprintf(stderr, "prionnd: "+format+"\n", args...)
 	}
 
-	view, all, snapBytes, err := buildSnapshot(*load, *scale, *seed, *jobs, *quant, logf)
+	if *retrainEvery > 0 && *quant {
+		// Retrained candidates are float32 snapshots; promoting one would
+		// silently replace the int8 kernel the operator asked for.
+		logf("-retrain-every and -quant are mutually exclusive: online retraining publishes float32 candidates")
+		return 1
+	}
+
+	mcfg, err := modelConfig(*scale, *seed)
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+	view, all, snapBytes, mcfg, err := buildSnapshot(*load, mcfg, *seed, *jobs, *quant, logf)
 	if err != nil {
 		logf("%v", err)
 		return 1
@@ -240,8 +287,40 @@ func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop f
 		_, _ = fmt.Fprint(stdout, eng.StatsText())
 		return code
 	}
+
+	// The online-learning pipeline: the cluster is its own canary-capable
+	// deployer; a single coalescing server deploys directly (accepted
+	// candidates swap in without a traffic-split stage).
+	var pl *pilot.Pilot
+	if *retrainEvery > 0 {
+		mcfg.RetrainEvery = *retrainEvery
+		var dep pilot.Deployer
+		if ce, ok := eng.(*clusterEngine); ok {
+			dep = ce.cl
+		} else {
+			dep = &pilot.DirectDeployer{Srv: eng.(*singleEngine).srv}
+		}
+		pl, err = pilot.New(pilot.Config{
+			Model:          mcfg,
+			ShadowWindow:   *shadowWindow,
+			Canary:         cluster.CanaryConfig{Frac: *canaryFrac},
+			CheckpointPath: *retrainCkpt,
+		}, dep)
+		if err != nil {
+			logf("%v", err)
+			_ = eng.Stop(context.Background())
+			return 1
+		}
+		logf("online learning: retrain every %d completions (window %d), shadow window %d, canary fraction %.2f",
+			mcfg.RetrainEvery, mcfg.TrainWindow, *shadowWindow, *canaryFrac)
+		if pl.Events() > 0 {
+			logf("online learning: resumed from %s (%d training events)", *retrainCkpt, pl.Events())
+		}
+	}
+
 	d := &daemon{
 		eng:         eng,
+		pilot:       pl,
 		clusterMode: *replicas > 1,
 		hasSnapshot: view != nil,
 		noFallback:  *noFallback,
@@ -251,14 +330,34 @@ func run(argv []string, stdout, stderr io.Writer, ready func(addr string, stop f
 	return d.serveHTTP(*addr, *statsEvery, stdout, logf, ready)
 }
 
+// modelConfig resolves -scale into a predictor configuration.
+func modelConfig(scale string, seed int64) (prionn.Config, error) {
+	var cfg prionn.Config
+	switch scale {
+	case "tiny":
+		cfg = prionn.TinyConfig()
+	case "fast":
+		cfg = prionn.FastConfig()
+	case "paper":
+		cfg = prionn.DefaultConfig()
+	default:
+		return prionn.Config{}, fmt.Errorf("unknown scale %q (tiny, fast, paper)", scale)
+	}
+	cfg.Seed = seed
+	return cfg, nil
+}
+
 // buildSnapshot loads or trains a predictor and returns its published
 // inference snapshot, the synthetic trace (for -demo request
-// generation), and the persisted byte size of the snapshot artifact
-// (for /stats). With -quant the published snapshot is the predictor's
-// int8 quantization, calibrated on a held-out slice of completed jobs.
-// With -jobs 0 and no checkpoint it returns a nil view: the daemon
-// serves the requested-runtime fallback until a snapshot exists.
-func buildSnapshot(load, scale string, seed int64, jobs int, quant bool, logf func(string, ...interface{})) (*prionn.Inference, []trace.Job, int64, error) {
+// generation), the persisted byte size of the snapshot artifact (for
+// /stats), and the model configuration actually in effect — the loaded
+// checkpoint's when -load is set, cfg otherwise — which the online-
+// learning pipeline adopts so its candidates match the serving model.
+// With -quant the published snapshot is the predictor's int8
+// quantization, calibrated on a held-out slice of completed jobs. With
+// -jobs 0 and no checkpoint it returns a nil view: the daemon serves
+// the requested-runtime fallback until a snapshot exists.
+func buildSnapshot(load string, cfg prionn.Config, seed int64, jobs int, quant bool, logf func(string, ...interface{})) (*prionn.Inference, []trace.Job, int64, prionn.Config, error) {
 	all := trace.Generate(trace.Config{Seed: seed, Jobs: jobs})
 	completed := trace.Completed(all)
 	var p *prionn.Predictor
@@ -267,26 +366,15 @@ func buildSnapshot(load, scale string, seed int64, jobs int, quant bool, logf fu
 		var err error
 		p, err = prionn.LoadFile(load)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, cfg, err
 		}
+		cfg = p.Config
 		logf("restored model from %s (%d training events)", load, p.Events())
 	} else {
-		var cfg prionn.Config
-		switch scale {
-		case "tiny":
-			cfg = prionn.TinyConfig()
-		case "fast":
-			cfg = prionn.FastConfig()
-		case "paper":
-			cfg = prionn.DefaultConfig()
-		default:
-			return nil, nil, 0, fmt.Errorf("unknown scale %q (tiny, fast, paper)", scale)
-		}
 		if jobs <= 0 {
 			logf("no initial training (-jobs 0): serving the requested-runtime fallback")
-			return nil, all, 0, nil
+			return nil, all, 0, cfg, nil
 		}
-		cfg.Seed = seed
 		window := completed
 		if len(window) > cfg.TrainWindow {
 			window = window[len(window)-cfg.TrainWindow:]
@@ -299,26 +387,26 @@ func buildSnapshot(load, scale string, seed int64, jobs int, quant bool, logf fu
 		var err error
 		p, err = prionn.New(cfg, scripts)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, cfg, err
 		}
 		logf("training on %d most recently completed jobs...", len(window))
 		if _, err := p.Train(window); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, cfg, err
 		}
 	}
 	if quant {
 		view, bytes, err := quantizedSnapshot(p, completed, trainWindow, logf)
-		return view, all, bytes, err
+		return view, all, bytes, cfg, err
 	}
 	view, err := p.Snapshot()
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, cfg, err
 	}
 	var buf bytes.Buffer
 	if err := p.Save(&buf); err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, cfg, err
 	}
-	return view, all, int64(buf.Len()), nil
+	return view, all, int64(buf.Len()), cfg, nil
 }
 
 // quantizedSnapshot freezes the trained predictor into an int8 serving
@@ -427,9 +515,30 @@ type daemon struct {
 	reqTimeout  time.Duration
 	drainGrace  time.Duration
 
+	// pilot, when non-nil, is the online-learning pipeline; completions
+	// is the bounded queue between the POST /complete handler and the
+	// pipeline's single consumer goroutine (the pilot is goroutine-
+	// confined, so only that consumer calls Observe/Tick).
+	pilot       *pilot.Pilot
+	completions chan trace.Job
+
 	// draining flips once shutdown begins; /readyz reports 503 from then
 	// on while /healthz (liveness) stays 200 until the process exits.
 	draining atomic.Bool
+}
+
+// statsText is the block the -stats ticker and the shutdown path print:
+// the engine's counters plus, with online learning on, a pipeline line.
+func (d *daemon) statsText() string {
+	s := d.eng.StatsText()
+	if d.pilot != nil {
+		st := d.pilot.Status()
+		s += fmt.Sprintf("pipeline: %s, %d events (%d trained, %d replayed), shadow %d accepted / %d rejected, canary %d started / %d promoted / %d rolled back\n",
+			st.Phase, st.Events, st.TrainedThisRun, st.ReplayedEvents,
+			st.ShadowAccepted, st.ShadowRejected,
+			st.CanaryStarts, st.CanaryPromotions, st.CanaryRollbacks)
+	}
+	return s
 }
 
 // serveHTTP runs the HTTP front end until SIGINT/SIGTERM (or the
@@ -438,9 +547,26 @@ type daemon struct {
 func (d *daemon) serveHTTP(addr string, statsEvery time.Duration, stdout io.Writer, logf func(string, ...interface{}), ready func(addr string, stop func())) int {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", d.handlePredict)
+	if d.pilot != nil {
+		d.completions = make(chan trace.Job, 1024)
+		mux.HandleFunc("POST /complete", d.handleComplete)
+	}
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(d.eng.StatsJSON())
+		doc := d.eng.StatsJSON()
+		if d.pilot != nil {
+			// Graft the pipeline's state into the engine document without
+			// disturbing its top-level keys.
+			if raw, err := json.Marshal(doc); err == nil {
+				m := map[string]interface{}{}
+				if json.Unmarshal(raw, &m) == nil {
+					m["pipeline"] = d.pilot.Status()
+					_ = json.NewEncoder(w).Encode(m)
+					return
+				}
+			}
+		}
+		_ = json.NewEncoder(w).Encode(doc)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Liveness only: the process is up and the mux is answering. Do
@@ -491,6 +617,17 @@ func (d *daemon) serveHTTP(addr string, statsEvery time.Duration, stdout io.Writ
 	httpDone := make(chan error, 1)
 	go func() { httpDone <- hs.Serve(ln) }()
 	logf("serving on %s", ln.Addr())
+
+	// The pipeline's single consumer: every Observe/Tick call happens on
+	// this goroutine, preserving the pilot's confinement contract.
+	pilotStop := make(chan struct{})
+	pilotDone := make(chan struct{})
+	if d.pilot != nil {
+		go d.pilotLoop(pilotStop, pilotDone, logf)
+	} else {
+		close(pilotDone)
+	}
+
 	if ready != nil {
 		ready(ln.Addr().String(), stop)
 	}
@@ -508,7 +645,7 @@ loop:
 	for {
 		select {
 		case <-tick:
-			_, _ = fmt.Fprint(stdout, d.eng.StatsText())
+			_, _ = fmt.Fprint(stdout, d.statsText())
 		case sig := <-sigCh:
 			logf("received %v, draining...", sig)
 			break loop
@@ -536,12 +673,88 @@ loop:
 		logf("http shutdown: %v", err)
 		code = 1
 	}
+	// Stop the pipeline after the handlers (no more completions arrive)
+	// but before the engine, so a promotion never lands on a stopped
+	// cluster.
+	close(pilotStop)
+	<-pilotDone
 	if err := d.eng.Stop(shutdownCtx); err != nil {
 		logf("drain: %v", err)
 		code = 1
 	}
-	_, _ = fmt.Fprint(stdout, d.eng.StatsText())
+	_, _ = fmt.Fprint(stdout, d.statsText())
 	return code
+}
+
+// pilotLoop drains the completion queue into the pipeline and advances
+// canary promotion/rollback on a ticker. It is the only goroutine that
+// touches the pilot. On stop it consumes whatever is already queued —
+// the handler stopped enqueueing when the HTTP server shut down — so
+// accepted completions are never silently dropped.
+func (d *daemon) pilotLoop(stop <-chan struct{}, done chan<- struct{}, logf func(string, ...interface{})) {
+	defer close(done)
+	ctx := context.Background()
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case j := <-d.completions:
+			if err := d.pilot.Observe(ctx, j); err != nil {
+				logf("pipeline: %v", err)
+			}
+		case <-tick.C:
+			if err := d.pilot.Tick(ctx); err != nil {
+				logf("pipeline: %v", err)
+			}
+		case <-stop:
+			for {
+				select {
+				case j := <-d.completions:
+					if err := d.pilot.Observe(ctx, j); err != nil {
+						logf("pipeline: %v", err)
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// handleComplete answers POST /complete: decode one finished job and
+// enqueue it for the pipeline. The queue is bounded; a full queue is
+// the submitter's backpressure signal (503), mirroring /predict.
+func (d *daemon) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Script == "" {
+		http.Error(w, "bad request: script is required", http.StatusBadRequest)
+		return
+	}
+	if req.ActualSec < 0 || req.ReadBytes < 0 || req.WriteBytes < 0 {
+		http.Error(w, "bad request: negative runtime or IO volume", http.StatusBadRequest)
+		return
+	}
+	j := trace.Job{
+		Script:       req.Script,
+		InputDeck:    req.InputDeck,
+		RequestedMin: req.RequestedMin,
+		ActualSec:    req.ActualSec,
+		ReadBytes:    req.ReadBytes,
+		WriteBytes:   req.WriteBytes,
+		AvgPowerW:    req.AvgPowerW,
+		Canceled:     req.Canceled,
+	}
+	select {
+	case d.completions <- j:
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = io.WriteString(w, "accepted\n")
+	default:
+		http.Error(w, "completion queue full", http.StatusServiceUnavailable)
+	}
 }
 
 // handlePredict answers POST /predict through the engine. In single

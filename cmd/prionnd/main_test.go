@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -11,6 +12,7 @@ import (
 
 	"prionn/internal/fault"
 	"prionn/internal/serve"
+	"prionn/internal/trace"
 )
 
 // demoArgs keeps the daemon tests fast: tiny model, short trace.
@@ -416,4 +418,154 @@ func TestRunHTTPRequestTimeout504(t *testing.T) {
 	fault.DisarmAll()
 	st.stop()
 	wg.Wait()
+}
+
+// TestRunHTTPPipeline closes the loop over the wire: a daemon started
+// with no initial training (-jobs 0) learns online from POST /complete
+// — the stream crosses -retrain-every, the candidate passes the shadow
+// gate (trivially: no baseline yet), is promoted by the pipeline's
+// ticker, and /predict flips from the requested-runtime fallback to
+// model predictions. /stats carries the pipeline object throughout and
+// the retrain checkpoint materializes on disk.
+func TestRunHTTPPipeline(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ckpt := t.TempDir() + "/retrain.ckpt"
+	type started struct {
+		addr string
+		stop func()
+	}
+	readyCh := make(chan started, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var code int
+	go func() {
+		defer wg.Done()
+		code = run([]string{"-addr", "127.0.0.1:0", "-jobs", "0", "-scale", "tiny", "-seed", "5",
+			"-retrain-every", "10", "-shadow-window", "8", "-retrain-ckpt", ckpt},
+			&stdout, &stderr, func(addr string, stop func()) { readyCh <- started{addr, stop} })
+	}()
+
+	var st started
+	select {
+	case st = <-readyCh:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon did not come up")
+	}
+	base := "http://" + st.addr
+
+	// Before any completions: fallback predictions, idle pipeline.
+	predictOnce := func() predictResponse {
+		t.Helper()
+		body, _ := json.Marshal(predictRequest{Script: "#!/bin/bash\nsrun ./lulesh.exe -s 32\n", RequestedMin: 120})
+		post, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer post.Body.Close()
+		if post.StatusCode != http.StatusOK {
+			t.Fatalf("predict status %d", post.StatusCode)
+		}
+		var pr predictResponse
+		if err := json.NewDecoder(post.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	if pr := predictOnce(); pr.FromModel {
+		t.Fatalf("untrained daemon must serve the fallback: %+v", pr)
+	}
+	pipelineStats := func() map[string]interface{} {
+		t.Helper()
+		resp, err := http.Get(base + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var snap map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		pl, ok := snap["pipeline"].(map[string]interface{})
+		if !ok {
+			t.Fatalf("/stats missing the pipeline object: %v", snap)
+		}
+		return pl
+	}
+	if phase := pipelineStats()["phase"]; phase != "idle" {
+		t.Fatalf("pipeline phase before completions = %v, want idle", phase)
+	}
+
+	// Malformed completions are rejected before touching the queue.
+	for _, bad := range []string{`{`, `{"actual_sec": 60}`, `{"script": "x", "actual_sec": -1}`} {
+		resp, err := http.Post(base+"/complete", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("complete(%s) status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Stream two retrain cadences' worth of finished jobs.
+	jobs := trace.Completed(trace.Generate(trace.Config{Seed: 7, Jobs: 60}))
+	for i := 0; i < 20; i++ {
+		j := jobs[i%len(jobs)]
+		body, _ := json.Marshal(completeRequest{
+			Script: j.Script, InputDeck: j.InputDeck, RequestedMin: j.RequestedMin,
+			ActualSec: j.ActualSec, ReadBytes: j.ReadBytes, WriteBytes: j.WriteBytes,
+		})
+		resp, err := http.Post(base+"/complete", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("complete %d status %d, want 202", i, resp.StatusCode)
+		}
+	}
+
+	// The first candidate has no baseline, passes the shadow gate
+	// trivially, and the ticker promotes it into the serving path.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		pl := pipelineStats()
+		if ev, _ := pl["events"].(float64); ev >= 1 {
+			if promoted, _ := pl["canary_promotions"].(float64); promoted >= 1 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline never promoted a candidate: %v", pipelineStats())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if pr := predictOnce(); !pr.FromModel {
+		t.Fatalf("post-promotion prediction still a fallback: %+v", pr)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("retrain checkpoint missing after a training event: %v", err)
+	}
+
+	st.stop()
+	wg.Wait()
+	if code != 0 {
+		t.Fatalf("daemon exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "pipeline:") {
+		t.Fatalf("shutdown stats block missing the pipeline line:\n%s", stdout.String())
+	}
+}
+
+// TestRunPipelineQuantRejected: online retraining publishes float32
+// candidates, so combining it with -quant is a configuration error.
+func TestRunPipelineQuantRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-quant", "-retrain-every", "50", "-jobs", "100", "-scale", "tiny"},
+		&stdout, &stderr, nil); code != 1 {
+		t.Fatalf("-quant with -retrain-every: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
 }

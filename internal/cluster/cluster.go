@@ -57,8 +57,12 @@ type Response struct {
 	// requested-runtime fallback instead of erroring.
 	Degraded bool
 	// Replica is the id of the replica that answered (the cache's home
-	// replica for cached responses), or -1 for degraded responses.
+	// replica for cached responses), or -1 for degraded and canary
+	// responses.
 	Replica int
+	// Canary is true when the answer came from the canary stage's
+	// candidate snapshot rather than the published one.
+	Canary bool
 }
 
 // Policy selects how the router spreads requests over replicas.
@@ -112,6 +116,10 @@ const (
 	// failing must not stall a submission); Sleep injects admission
 	// latency.
 	FailpointRoute = "cluster/route"
+	// FailpointSwapClone fires in Swap before each per-replica snapshot
+	// clone; arming it with After selects which replica's clone fails,
+	// so tests can prove a mid-swap failure publishes nothing.
+	FailpointSwapClone = "cluster/swap-clone"
 )
 
 // ReplicaFailpoint names the per-replica dispatch failpoint: it fires
@@ -252,9 +260,14 @@ type Cluster struct {
 	// clones it for the replacement replica.
 	view atomic.Pointer[prionn.Inference]
 
-	// ctl serializes the control plane (Swap, Kill, Restart) so a
-	// restart can never resurrect a replica on a stale snapshot.
+	// ctl serializes the control plane (Swap, Kill, Restart, canary
+	// start/promote/stop) so a restart can never resurrect a replica on
+	// a stale snapshot and canary transitions never interleave.
 	ctl sync.Mutex
+
+	// canary is the active canary deployment, nil when none. Stored
+	// under ctl; loaded lock-free on the serving path.
+	canary atomic.Pointer[canaryState]
 
 	rr     atomic.Uint64 // round-robin cursor
 	jitter jitterSource
@@ -362,6 +375,21 @@ func (c *Cluster) Predict(ctx context.Context, req Request) (Response, error) {
 	}
 
 	key := scriptKey(req.Script, req.InputDeck)
+
+	// Canary claim: before the cache, so canary traffic always exercises
+	// the candidate (a cache hit would silently starve the canary of
+	// observations). A failed canary path falls through to the normal
+	// route — canary faults never degrade the caller's request.
+	if cs := c.canary.Load(); cs != nil && cs.running() && cs.take() {
+		if resp, ok := c.canaryPredict(ctx, cs, req, key); ok {
+			return resp, nil
+		}
+		if parent.Err() != nil {
+			c.st.callerCanceled.Add(1)
+			return Response{}, parent.Err()
+		}
+	}
+
 	st := c.stamp()
 	if home := c.home(key); home.cache != nil {
 		if pred, ok := home.cache.get(key, st); ok {
@@ -616,21 +644,43 @@ func (c *Cluster) attempt(ctx context.Context, r *replica, req Request) (serve.R
 // caches invalidated after. A forward that raced the swap can therefore
 // only insert a cache entry under the *old* stamp — erased by the
 // invalidation — never a stale prediction under the new one.
+//
+// Swap is all-or-nothing: every replica's private clone is taken
+// before anything is published, so a clone failure (OOM, injected
+// fault) leaves the cluster exactly as it was — no replica sees the
+// new snapshot, the version is not bumped, and the caches keep serving
+// the old view's entries, which are still correct for it.
 func (c *Cluster) Swap(v *prionn.Inference) error {
 	c.ctl.Lock()
 	defer c.ctl.Unlock()
+	//prionnvet:ignore lock-held-io -- swapping IS the critical section: ctl must cover clone+publish so a concurrent Restart can never resurrect a replica on a half-swapped snapshot; the only IO reached is the test-only FailpointSwapClone, armed with Err (never Sleep/Panic) by the atomicity tests
+	return c.swapLocked(v)
+}
+
+// swapLocked is Swap's body; the caller holds ctl.
+func (c *Cluster) swapLocked(v *prionn.Inference) error {
+	// Phase 1 — clone for every replica. Nothing is published until all
+	// clones exist.
+	clones := make([]*prionn.Inference, len(c.replicas))
+	for i := range c.replicas {
+		if err := fault.Here(FailpointSwapClone); err != nil {
+			return err
+		}
+		clone, err := cloneView(v)
+		if err != nil {
+			return err
+		}
+		clones[i] = clone
+	}
+	// Phase 2 — publish. Nothing below can fail.
 	if v == nil {
 		c.view.Store(nil)
 	} else {
 		c.view.Store(v)
 	}
-	for _, r := range c.replicas {
-		clone, err := cloneView(v)
-		if err != nil {
-			return err
-		}
+	for i, r := range c.replicas {
 		if srv := r.srv.Load(); srv != nil {
-			srv.Swap(clone)
+			srv.Swap(clones[i])
 		}
 	}
 	st := cacheStamp{version: c.version.Add(1), kernel: viewKernel(v)}
@@ -707,6 +757,11 @@ func (c *Cluster) Stop(ctx context.Context) error {
 			if err := srv.Stop(ctx); err != nil && firstErr == nil {
 				firstErr = err
 			}
+		}
+	}
+	if cs := c.canary.Load(); cs != nil {
+		if err := cs.srv.Stop(ctx); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	return firstErr

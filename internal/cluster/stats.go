@@ -22,6 +22,10 @@ type clusterStats struct {
 	cacheMisses      atomic.Int64 // cache lookups that missed (cache enabled only)
 	swaps            atomic.Int64 // cluster-wide snapshot publications
 	healthFlips      atomic.Int64 // health state transitions observed by the prober
+	canaryStarts     atomic.Int64 // canary deployments started
+	canaryPromotions atomic.Int64 // canaries promoted to full swap
+	canaryRollbacks  atomic.Int64 // canaries stopped without promotion
+	canaryRequests   atomic.Int64 // requests claimed by the canary stage
 }
 
 // ReplicaSnapshot is one replica's point-in-time state as /stats
@@ -71,6 +75,15 @@ type Snapshot struct {
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 
+	// Canary is the canary stage's phase and counters (phase "none"
+	// when no canary is deployed); the lifetime counters below survive
+	// individual canary deployments.
+	Canary           CanaryStatus `json:"canary"`
+	CanaryStarts     int64        `json:"canary_starts"`
+	CanaryPromotions int64        `json:"canary_promotions"`
+	CanaryRollbacks  int64        `json:"canary_rollbacks"`
+	CanaryRequests   int64        `json:"canary_requests"`
+
 	// P50Ns/P99Ns are dispatch-latency percentiles over the recent
 	// latency window (model-path attempts only; cache hits don't count).
 	P50Ns int64 `json:"p50_ns"`
@@ -96,6 +109,11 @@ func (c *Cluster) Stats() Snapshot {
 	out.Swaps = c.st.swaps.Load()
 	out.HealthFlips = c.st.healthFlips.Load()
 	out.CacheMisses = c.st.cacheMisses.Load()
+	out.Canary = c.CanaryStatus()
+	out.CanaryStarts = c.st.canaryStarts.Load()
+	out.CanaryPromotions = c.st.canaryPromotions.Load()
+	out.CanaryRollbacks = c.st.canaryRollbacks.Load()
+	out.CanaryRequests = c.st.canaryRequests.Load()
 	out.P50Ns = c.lat.percentileNs(0.50)
 	out.P99Ns = c.lat.percentileNs(0.99)
 	for _, r := range c.replicas {
@@ -135,6 +153,11 @@ func (sn Snapshot) String() string {
 	if sn.CacheHits+sn.CacheMisses > 0 {
 		fmt.Fprintf(&b, "cache: %d hits, %d misses (%.1f%% hit rate)\n",
 			sn.CacheHits, sn.CacheMisses, 100*sn.CacheHitRate)
+	}
+	if sn.CanaryStarts > 0 {
+		fmt.Fprintf(&b, "canary [%s]: %d observations (%d errors, %d disagreements); lifetime %d starts, %d promoted, %d rolled back, %d requests\n",
+			sn.Canary.Phase, sn.Canary.Observations, sn.Canary.Errors, sn.Canary.Disagreements,
+			sn.CanaryStarts, sn.CanaryPromotions, sn.CanaryRollbacks, sn.CanaryRequests)
 	}
 	if sn.P50Ns > 0 {
 		fmt.Fprintf(&b, "dispatch latency: p50 %v, p99 %v\n",

@@ -189,6 +189,108 @@ func ApproxEqualRel(a, b, rel float64) bool {
 	return math.Abs(a-b) <= rel*scale
 }
 
+// MAPE returns the mean absolute percentage error over the finite,
+// nonzero-truth pairs of the two series, plus the number of pairs that
+// contributed. Pairs where either value is NaN/±Inf — a poisoned
+// prediction must not poison the aggregate — or where the truth is
+// exactly zero (the percentage is undefined) are skipped and do not
+// count toward n. An input with no usable pairs returns (0, 0); the
+// result is always finite.
+func MAPE(truth, pred []float64) (mape float64, n int) {
+	if len(truth) != len(pred) {
+		panic("metrics: length mismatch")
+	}
+	var s float64
+	for i := range truth {
+		t, p := truth[i], pred[i]
+		if !finite(t) || !finite(p) {
+			continue
+		}
+		if t == 0 { //prionnvet:ignore float-eq -- exact zero truth is the only undefined denominator; a tolerance would silently drop valid tiny truths
+			continue
+		}
+		s += math.Abs(t-p) / math.Abs(t)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return s / float64(n), n
+}
+
+// PearsonR returns the Pearson correlation coefficient over the finite
+// pairs of the two series, plus the number of pairs that contributed.
+// NaN/±Inf pairs are skipped. Degenerate inputs — fewer than two usable
+// pairs, or a zero-variance series — return (0, n): an uncorrelatable
+// series reads as "no evidence of correlation", never as NaN, so a
+// comparison gate built on top cannot be poisoned by a constant or
+// broken prediction head.
+func PearsonR(truth, pred []float64) (r float64, n int) {
+	if len(truth) != len(pred) {
+		panic("metrics: length mismatch")
+	}
+	var st, sp float64
+	var ts, ps []float64
+	for i := range truth {
+		t, p := truth[i], pred[i]
+		if !finite(t) || !finite(p) {
+			continue
+		}
+		ts = append(ts, t)
+		ps = append(ps, p)
+		st += t
+		sp += p
+	}
+	n = len(ts)
+	if n < 2 {
+		return 0, n
+	}
+	mt, mp := st/float64(n), sp/float64(n)
+	var cov, vt, vp float64
+	for i := range ts {
+		dt, dp := ts[i]-mt, ps[i]-mp
+		cov += dt * dp
+		vt += dt * dt
+		vp += dp * dp
+	}
+	if vt == 0 || vp == 0 { //prionnvet:ignore float-eq -- exact zero variance (a constant series) is the only undefined correlation input
+		return 0, n
+	}
+	r = cov / math.Sqrt(vt*vp)
+	// Guard the rounding tail: |r| can exceed 1 by an ulp.
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r, n
+}
+
+// ClassAccuracy returns the fraction of positions where the two class
+// series agree, plus the number of pairs compared. Empty input returns
+// (0, 0) — the caller decides whether "no evidence" passes its gate.
+func ClassAccuracy(truth, pred []int) (acc float64, n int) {
+	if len(truth) != len(pred) {
+		panic("metrics: length mismatch")
+	}
+	if len(truth) == 0 {
+		return 0, 0
+	}
+	match := 0
+	for i := range truth {
+		if truth[i] == pred[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(truth)), len(truth)
+}
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
 // MeanStd returns the mean and (population) standard deviation.
 func MeanStd(vals []float64) (mean, std float64) {
 	n := float64(len(vals))

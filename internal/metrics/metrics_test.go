@@ -197,3 +197,90 @@ func TestApproxEqualRel(t *testing.T) {
 		}
 	}
 }
+
+// TestMAPE covers the shadow-gate hygiene contract: NaN/Inf pairs and
+// zero truths are skipped, never propagated, and the result is always
+// finite.
+func TestMAPE(t *testing.T) {
+	cases := []struct {
+		name        string
+		truth, pred []float64
+		want        float64
+		wantN       int
+	}{
+		{"exact", []float64{10, 20}, []float64{10, 20}, 0, 2},
+		{"half off", []float64{10, 20}, []float64{15, 10}, 0.5, 2},
+		{"empty", nil, nil, 0, 0},
+		{"zero truth skipped", []float64{0, 10}, []float64{5, 5}, 0.5, 1},
+		{"nan pred skipped", []float64{10, 10}, []float64{math.NaN(), 20}, 1, 1},
+		{"inf pred skipped", []float64{10, 10}, []float64{math.Inf(1), 5}, 0.5, 1},
+		{"nan truth skipped", []float64{math.NaN(), 10}, []float64{10, 20}, 1, 1},
+		{"all poisoned", []float64{math.NaN(), math.Inf(-1)}, []float64{1, 2}, 0, 0},
+	}
+	for _, c := range cases {
+		got, n := MAPE(c.truth, c.pred)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: MAPE returned non-finite %v", c.name, got)
+		}
+		if !ApproxEqual(got, c.want, 1e-12) || n != c.wantN {
+			t.Errorf("%s: MAPE = (%v, %d), want (%v, %d)", c.name, got, n, c.want, c.wantN)
+		}
+	}
+}
+
+// TestPearsonR pins the correlation helper's degenerate-input contract:
+// constant series, short series, and poisoned values all return a
+// finite coefficient instead of NaN.
+func TestPearsonR(t *testing.T) {
+	cases := []struct {
+		name        string
+		truth, pred []float64
+		want        float64
+		wantN       int
+	}{
+		{"perfect", []float64{1, 2, 3, 4}, []float64{2, 4, 6, 8}, 1, 4},
+		{"anti", []float64{1, 2, 3}, []float64{3, 2, 1}, -1, 3},
+		{"constant pred", []float64{1, 2, 3}, []float64{5, 5, 5}, 0, 3},
+		{"constant truth", []float64{7, 7, 7}, []float64{1, 2, 3}, 0, 3},
+		{"single pair", []float64{1}, []float64{1}, 0, 1},
+		{"empty", nil, nil, 0, 0},
+		{"nan skipped", []float64{1, 2, math.NaN(), 3}, []float64{2, 4, 9, 6}, 1, 3},
+		{"inf skipped", []float64{1, 2, 3, math.Inf(1)}, []float64{2, 4, 6, 0}, 1, 3},
+		{"all poisoned", []float64{math.NaN(), math.NaN()}, []float64{1, 2}, 0, 0},
+	}
+	for _, c := range cases {
+		got, n := PearsonR(c.truth, c.pred)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: PearsonR returned non-finite %v", c.name, got)
+		}
+		if !ApproxEqual(got, c.want, 1e-12) || n != c.wantN {
+			t.Errorf("%s: PearsonR = (%v, %d), want (%v, %d)", c.name, got, n, c.want, c.wantN)
+		}
+	}
+}
+
+func TestClassAccuracy(t *testing.T) {
+	if acc, n := ClassAccuracy(nil, nil); acc != 0 || n != 0 {
+		t.Errorf("empty: got (%v, %d), want (0, 0)", acc, n)
+	}
+	if acc, n := ClassAccuracy([]int{1, 2, 3, 4}, []int{1, 2, 0, 4}); !ApproxEqual(acc, 0.75, 1e-12) || n != 4 {
+		t.Errorf("got (%v, %d), want (0.75, 4)", acc, n)
+	}
+}
+
+func TestMetricsLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MAPE":          func() { MAPE([]float64{1}, nil) },
+		"PearsonR":      func() { PearsonR([]float64{1}, nil) },
+		"ClassAccuracy": func() { ClassAccuracy([]int{1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: length mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

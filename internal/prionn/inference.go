@@ -165,6 +165,16 @@ func (v *Inference) Clone() (*Inference, error) {
 // Config returns the configuration the view was built with.
 func (v *Inference) Config() Config { return v.cfg }
 
+// RuntimeClass maps a runtime in minutes onto the view's classifier
+// bins — the class a perfect model would emit for that runtime. Shadow
+// evaluation uses it to score class accuracy between two views' decoded
+// predictions on the same bin layout.
+func (v *Inference) RuntimeClass(minutes int) int { return v.rbins.Class(minutes) }
+
+// IOClass maps a total byte count onto the view's IO classifier bins;
+// the class-accuracy analogue of RuntimeClass for the read/write heads.
+func (v *Inference) IOClass(bytes float64) int { return v.iobin.Class(bytes) }
+
 // Trained reports whether the underlying predictor had completed at
 // least one training event when the view was taken. An untrained view
 // emits meaningless forward passes; callers (the serve layer) must fall

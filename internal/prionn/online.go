@@ -2,6 +2,9 @@ package prionn
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"io/fs"
 	"sort"
 
 	"prionn/internal/fault"
@@ -50,6 +53,17 @@ const FailpointOnlineSave = "prionn/online/save"
 // the last completed event's model via LoadFile instead of retraining
 // from scratch — the survivability half of the paper's persistent-tool
 // deployment (§2.3).
+//
+// Restart contract: when a checkpoint already exists at path, the run
+// resumes from it — the predictor (embedding included) is restored
+// rather than rebuilt, and the persisted event counter tells the loop
+// how many training events the previous incarnation completed. Those
+// events are replayed as no-ops: the loop skips their retraining and
+// leaves their submissions' records unpredicted (the previous
+// incarnation already answered them), then continues bitwise-identically
+// to an uninterrupted run from the skipped events' state. The replayed
+// job stream must match the crashed run's (same jobs, same cfg); a
+// checkpoint trained under a different configuration is rejected.
 func RunOnlineCheckpointed(ctx context.Context, jobs []trace.Job, cfg Config, path string, progress func(done, total int)) ([]OnlineRecord, error) {
 	return runOnline(ctx, jobs, cfg, path, nil, progress)
 }
@@ -75,6 +89,32 @@ func runOnline(ctx context.Context, jobs []trace.Job, cfg Config, ckptPath strin
 	pi := 0
 
 	var p *Predictor
+	// skipEvents counts training events a previous incarnation already
+	// completed and checkpointed: the loop replays them as no-ops so the
+	// event cadence (and every later event's shuffle seed) stays aligned
+	// with an uninterrupted run.
+	skipEvents := 0
+	if ckptPath != "" {
+		loaded, err := LoadFile(ckptPath)
+		switch {
+		case err == nil:
+			if loaded.Config != cfg {
+				return nil, fmt.Errorf("prionn: checkpoint at %s was trained under a different configuration", ckptPath)
+			}
+			loaded.fs = fsys
+			p = loaded
+			skipEvents = p.Events()
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh start: no checkpoint yet.
+		default:
+			// A checkpoint exists but cannot be restored (truncated,
+			// corrupt, unreadable). Silently retraining from scratch here
+			// would discard the warm-start state the caller asked to keep;
+			// surface it instead.
+			return nil, fmt.Errorf("prionn: restoring checkpoint %s: %w", ckptPath, err)
+		}
+	}
+	eventsFired := 0
 	records := make([]OnlineRecord, len(jobs))
 	sinceTrain := 0
 
@@ -90,51 +130,83 @@ func runOnline(ctx context.Context, jobs []trace.Job, cfg Config, ckptPath strin
 
 		sinceTrain++
 		if sinceTrain >= cfg.RetrainEvery && len(completed) > 0 {
-			window := completed
-			if len(window) > cfg.TrainWindow {
-				window = window[len(window)-cfg.TrainWindow:]
-			}
-			batch := make([]trace.Job, len(window))
-			scripts := make([]string, len(window))
-			for k, idx := range window {
-				batch[k] = jobs[idx]
-				scripts[k] = jobs[idx].Script
-				if cfg.IncludeDeck {
-					scripts[k] += "\n" + jobs[idx].InputDeck
+			if eventsFired < skipEvents {
+				// This event was completed and checkpointed by the crashed
+				// incarnation: the restored model already contains it.
+				// Re-training it would double-apply the window (and
+				// misalign every later event's seed), so only the cadence
+				// bookkeeping advances. Once the last covered event is
+				// replayed, the restored model is exactly the state an
+				// uninterrupted run would hold here, and prediction
+				// resumes below.
+				eventsFired++
+				sinceTrain = 0
+				if progress != nil {
+					progress(i+1, len(jobs))
 				}
-			}
-			if p == nil {
-				var err error
-				p, err = New(cfg, scripts)
-				if err != nil {
+			} else {
+				if err := trainEventAt(ctx, &p, jobs, completed, cfg, ckptPath, fsys); err != nil {
 					return nil, err
 				}
-				p.fs = fsys
-			}
-			if _, err := p.TrainCtx(ctx, batch); err != nil {
-				return nil, err
-			}
-			if ckptPath != "" {
-				if err := fault.Here(FailpointOnlineSave); err != nil {
-					return nil, err
+				eventsFired++
+				sinceTrain = 0
+				if progress != nil {
+					progress(i+1, len(jobs))
 				}
-				if err := p.SaveFile(ckptPath); err != nil {
-					return nil, err
-				}
-			}
-			sinceTrain = 0
-			if progress != nil {
-				progress(i+1, len(jobs))
 			}
 		}
 
 		records[i].Job = j
-		if p != nil && p.Trained() && !j.Canceled {
+		// eventsFired < skipEvents marks the replayed prefix of a restart:
+		// those submissions were answered (and recorded) by the previous
+		// incarnation, and their models are unrecoverable — the restored
+		// checkpoint holds the state after event skipEvents, not before.
+		if p != nil && p.Trained() && !j.Canceled && eventsFired >= skipEvents {
 			records[i].Pred = p.PredictJob(j)
 			records[i].Predicted = true
 		}
 	}
 	return records, nil
+}
+
+// trainEventAt runs one training event of the online loop: build the
+// window of the cfg.TrainWindow most recently completed jobs, lazily
+// construct the predictor on the first event (training the embedding on
+// the first window's scripts), warm-start train, and checkpoint.
+func trainEventAt(ctx context.Context, p **Predictor, jobs []trace.Job, completed []int, cfg Config, ckptPath string, fsys fault.FS) error {
+	window := completed
+	if len(window) > cfg.TrainWindow {
+		window = window[len(window)-cfg.TrainWindow:]
+	}
+	batch := make([]trace.Job, len(window))
+	scripts := make([]string, len(window))
+	for k, idx := range window {
+		batch[k] = jobs[idx]
+		scripts[k] = jobs[idx].Script
+		if cfg.IncludeDeck {
+			scripts[k] += "\n" + jobs[idx].InputDeck
+		}
+	}
+	if *p == nil {
+		np, err := New(cfg, scripts)
+		if err != nil {
+			return err
+		}
+		np.fs = fsys
+		*p = np
+	}
+	if _, err := (*p).TrainCtx(ctx, batch); err != nil {
+		return err
+	}
+	if ckptPath != "" {
+		if err := fault.Here(FailpointOnlineSave); err != nil {
+			return err
+		}
+		if err := (*p).SaveFile(ckptPath); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PredictedRecords filters an online run down to the records that carry

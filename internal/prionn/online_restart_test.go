@@ -1,0 +1,163 @@
+package prionn
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prionn/internal/fault"
+)
+
+// TestOnlineCheckpointRestart pins the restart half of
+// RunOnlineCheckpointed's contract: a run killed mid-stream resumes from
+// the checkpoint at path — it does not retrain from scratch — and from
+// the resume point onward produces records bitwise identical to an
+// uninterrupted run, ending in the same model state.
+func TestOnlineCheckpointRestart(t *testing.T) {
+	jobs := testJobs(150)
+	cfg := TinyConfig()
+	cfg.RetrainEvery = 30
+	cfg.TrainWindow = 40
+	cfg.Epochs = 1
+
+	// Uninterrupted reference run.
+	refPath := filepath.Join(t.TempDir(), "ref.ckpt")
+	want, err := RunOnlineCheckpointed(context.Background(), jobs, cfg, refPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refModel, err := LoadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refModel.Events() < 3 {
+		t.Fatalf("trace too short: only %d training events", refModel.Events())
+	}
+	var refBytes bytes.Buffer
+	if err := refModel.Save(&refBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: the daemon dies right before the second event's
+	// checkpoint save — after event 1 was trained and durably saved.
+	path := filepath.Join(t.TempDir(), "online.ckpt")
+	boom := errors.New("killed")
+	disarm := fault.Arm(FailpointOnlineSave, fault.Failure{Err: boom, After: 1})
+	_, err = RunOnlineCheckpointed(context.Background(), jobs, cfg, path, nil)
+	disarm()
+	if !errors.Is(err, boom) {
+		t.Fatalf("interrupted run returned %v, want the armed kill", err)
+	}
+
+	// Restart: same stream, same cfg, same path. The loop must load the
+	// event-1 checkpoint, replay the covered event as a no-op, and train
+	// only the remaining events.
+	events := 0
+	got, err := RunOnlineCheckpointed(context.Background(), jobs, cfg, path, func(done, total int) { events++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != refModel.Events() {
+		t.Fatalf("restart observed %d events, want the full cadence of %d", events, refModel.Events())
+	}
+
+	// The restart resumes from the checkpoint instead of retraining: the
+	// final model must have the reference run's event counter and
+	// byte-identical serialized state (the save format is deterministic,
+	// so this is a full bitwise state comparison).
+	gotModel, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotModel.Events() != refModel.Events() {
+		t.Fatalf("restart ended at event %d, want %d", gotModel.Events(), refModel.Events())
+	}
+	var gotBytes bytes.Buffer
+	if err := gotModel.Save(&gotBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes.Bytes(), refBytes.Bytes()) {
+		t.Fatal("restarted run's final model differs bitwise from the uninterrupted run's")
+	}
+
+	// Records: the replayed prefix (submissions answered by the crashed
+	// incarnation) is unpredicted; every record from the first post-resume
+	// prediction on is bitwise identical to the uninterrupted run.
+	if len(got) != len(want) {
+		t.Fatalf("record count %d, want %d", len(got), len(want))
+	}
+	first := -1
+	for i, r := range got {
+		if r.Predicted {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		t.Fatal("restarted run predicted nothing")
+	}
+	for i := 0; i < first; i++ {
+		if got[i].Predicted {
+			t.Fatalf("record %d predicted inside the replayed prefix", i)
+		}
+	}
+	resumed := 0
+	for i := first; i < len(got); i++ {
+		if got[i].Predicted != want[i].Predicted {
+			t.Fatalf("record %d: predicted=%v, reference=%v", i, got[i].Predicted, want[i].Predicted)
+		}
+		if !got[i].Predicted {
+			continue
+		}
+		if got[i].Pred != want[i].Pred {
+			t.Fatalf("record %d prediction diverged after restart:\n got %+v\nwant %+v", i, got[i].Pred, want[i].Pred)
+		}
+		resumed++
+	}
+	if resumed == 0 {
+		t.Fatal("no post-resume predictions compared; trace too short")
+	}
+}
+
+// TestOnlineCheckpointRestartConfigMismatch asserts a checkpoint trained
+// under a different configuration is rejected instead of silently
+// producing a model whose predictions mix two configs.
+func TestOnlineCheckpointRestartConfigMismatch(t *testing.T) {
+	jobs := testJobs(80)
+	cfg := TinyConfig()
+	cfg.RetrainEvery = 20
+	cfg.TrainWindow = 30
+	cfg.Epochs = 1
+	path := filepath.Join(t.TempDir(), "online.ckpt")
+	if _, err := RunOnlineCheckpointed(context.Background(), jobs, cfg, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.RetrainEvery = 25
+	if _, err := RunOnlineCheckpointed(context.Background(), jobs, other, path, nil); err == nil {
+		t.Fatal("config-mismatched checkpoint accepted")
+	}
+}
+
+// TestOnlineCheckpointCorruptRejected asserts a truncated checkpoint
+// surfaces an error instead of silently retraining from scratch.
+func TestOnlineCheckpointCorruptRejected(t *testing.T) {
+	jobs := testJobs(80)
+	cfg := TinyConfig()
+	cfg.RetrainEvery = 20
+	cfg.TrainWindow = 30
+	cfg.Epochs = 1
+	path := filepath.Join(t.TempDir(), "online.ckpt")
+	if _, err := RunOnlineCheckpointed(context.Background(), jobs, cfg, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOnlineCheckpointed(context.Background(), jobs, cfg, path, nil); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}

@@ -360,13 +360,16 @@ func TestOnlineRetrainCrashRecovery(t *testing.T) {
 		t.Fatalf("trace too short: only %d training events", ref.Events())
 	}
 
-	// Crash pass: the second event's save dies mid-write (torn write,
-	// then latched crash — no cleanup runs).
+	// Crash pass: a fresh deployment (its own checkpoint path — runOnline
+	// now resumes from an existing checkpoint, so reusing the completed
+	// reference path would skip every event) whose second event's save
+	// dies mid-write (torn write, then latched crash — no cleanup runs).
 	// Each save performs exactly two writes (frame header, then payload),
 	// and saves are sequential, so the 3rd write overall is the first
 	// write of the second event's save.
+	crashPath := filepath.Join(t.TempDir(), "crash.ckpt")
 	inj := fault.NewInjector(fault.Fault{Op: fault.OpWrite, Nth: 3, Mode: fault.ModeCrash})
-	_, err = runOnline(context.Background(), jobs, cfg, path, fault.NewInjectFS(fault.OS{}, inj), nil)
+	_, err = runOnline(context.Background(), jobs, cfg, crashPath, fault.NewInjectFS(fault.OS{}, inj), nil)
 	if !errors.Is(err, fault.ErrCrash) {
 		t.Fatalf("crashed run returned %v, want ErrCrash", err)
 	}
@@ -374,9 +377,9 @@ func TestOnlineRetrainCrashRecovery(t *testing.T) {
 		t.Fatal("crash fault never fired; adjust the write ordinal")
 	}
 
-	// Recovery: the file at path is the first event's checkpoint —
+	// Recovery: the file at crashPath is the first event's checkpoint —
 	// complete, loadable, and predictive.
-	rec, err := LoadFile(path)
+	rec, err := LoadFile(crashPath)
 	if err != nil {
 		t.Fatalf("checkpoint unloadable after mid-save crash: %v", err)
 	}

@@ -36,18 +36,20 @@ serve_tmp="$(mktemp)"
 cluster_tmp="$(mktemp)"
 quant_tmp="$(mktemp)"
 analysis_tmp="$(mktemp)"
-trap 'rm -f "$tmp" "$serve_tmp" "$cluster_tmp" "$quant_tmp" "$analysis_tmp"' EXIT
+pipeline_tmp="$(mktemp)"
+trap 'rm -f "$tmp" "$serve_tmp" "$cluster_tmp" "$quant_tmp" "$analysis_tmp" "$pipeline_tmp"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime="$benchtime" . | tee "$tmp"
 go test -run '^$' -bench '^BenchmarkServe' -benchmem -benchtime="$benchtime" ./internal/serve/ | tee "$serve_tmp"
 go test -run '^$' -bench '^BenchmarkCluster' -benchmem -benchtime="$benchtime" ./internal/cluster/ | tee "$cluster_tmp"
 go test -run '^$' -bench '^BenchmarkQuant' -benchmem -benchtime="$benchtime" ./internal/serve/ ./internal/cluster/ | tee "$quant_tmp"
 go test -run '^$' -bench '^(BenchmarkPrionnvetRunAll$|BenchmarkAnalysisRepoWide)' -benchmem -benchtime="$benchtime" . | tee "$analysis_tmp"
+go test -run '^$' -bench '^BenchmarkPipeline' -benchmem -benchtime="$benchtime" ./internal/pilot/ ./internal/cluster/ | tee "$pipeline_tmp"
 
 # Only rewrite the committed snapshots on real timing runs; -benchtime=1x
 # numbers are startup noise.
 if [ "$benchtime" = "1x" ]; then
-    echo "smoke run: BENCH_kernels.json, BENCH_serve.json, BENCH_cluster.json, BENCH_quant.json, and BENCH_analysis.json left untouched"
+    echo "smoke run: BENCH_kernels.json, BENCH_serve.json, BENCH_cluster.json, BENCH_quant.json, BENCH_analysis.json, and BENCH_pipeline.json left untouched"
     exit 0
 fi
 
@@ -202,3 +204,38 @@ END { print "\n}" }
 ' "$analysis_tmp" > BENCH_analysis.json
 
 echo "wrote BENCH_analysis.json"
+
+# BENCH_pipeline.json: the online-learning pipeline. Retrain is one
+# full pipeline event (warm-start retrain + shadow eval + deploy
+# decision); ShadowEval derives evaluations/sec; the CanaryOff/On pair
+# derives the canary stage's request-overhead ratio (on ns_op / off
+# ns_op, uncached dispatch both times).
+awk '
+BEGIN { print "{"; sep = "" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = "null"; allocs = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (name ~ /PipelineRetrain$/) retrain_ns = ns
+    if (name ~ /PipelineShadowEval$/) shadow_ns = ns
+    if (name ~ /PipelineCanaryOff$/) off_ns = ns
+    if (name ~ /PipelineCanaryOn$/) on_ns = ns
+    printf "%s  \"%s\": {\"ns_op\": %s, \"allocs_op\": %s}", sep, name, ns, allocs
+    sep = ",\n"
+}
+END {
+    if (retrain_ns != "")
+        printf "%s  \"retrain_latency_ms\": %.2f", sep, retrain_ns / 1e6
+    if (shadow_ns != "")
+        printf ",\n  \"shadow_evals_per_sec\": %.2f", 1e9 / shadow_ns
+    if (off_ns != "" && on_ns != "")
+        printf ",\n  \"canary_request_overhead\": %.3f", on_ns / off_ns
+    print "\n}"
+}
+' "$pipeline_tmp" > BENCH_pipeline.json
+
+echo "wrote BENCH_pipeline.json"

@@ -13,7 +13,8 @@
 #                      the ParallelFor/SetMaxWorkers hammer test)
 #   7. crash matrix   (fault-injection sweep: every injectable fault
 #                      point during a checkpoint save, plus mid-save
-#                      crash recovery of the online-retrain loop)
+#                      crash recovery and checkpoint-restart resume of
+#                      the online-retrain loop)
 #   8. serve gate     (the serving layer's contract tests — coalesced
 #                      == single bitwise, bounded-queue overload,
 #                      graceful drain — rerun under the race detector
@@ -28,13 +29,20 @@
 #                      quantized accuracy within 0.5pp of float32 on
 #                      held-out jobs, bounded class flip rate, and the
 #                      cluster cache's kernel-stamp invalidation)
-#  11. bench smoke    (one iteration of each kernel, serving, cluster,
+#  11. pipeline gate  (the online-learning loop under the race
+#                      detector: retrain → shadow-eval → canary →
+#                      atomic swap end-to-end on a live cluster,
+#                      restart-from-every-failpoint resume, shadow
+#                      rejection of regressed candidates, all-or-
+#                      nothing swap, canary rollback/promotion)
+#  12. bench smoke    (one iteration of each kernel, serving, cluster,
 #                      quantized f32-vs-int8, and analysis benchmark via
 #                      scripts/bench.sh 1x; real timings are recorded
 #                      separately into BENCH_kernels.json,
 #                      BENCH_serve.json, BENCH_cluster.json,
-#                      BENCH_quant.json, and BENCH_analysis.json)
-#  12. go test -fuzz  (short smoke run of each fuzz target: the mapping
+#                      BENCH_quant.json, BENCH_analysis.json, and
+#                      BENCH_pipeline.json)
+#  13. go test -fuzz  (short smoke run of each fuzz target: the mapping
 #                      crop/pad grid, the feature-directive parser, and
 #                      corrupt float and quantized checkpoint loading)
 #
@@ -93,7 +101,7 @@ step_done
 # of the suite above, but a -run filter here keeps it visible as its own
 # gate and guards against the tests being skipped or renamed away).
 step "crash matrix (fault injection)"
-go test -count=1 -run 'TestSaveFileCrashMatrix|TestOnlineRetrainCrashRecovery|TestInterruptResumeBitwiseIdentical' ./internal/prionn/
+go test -count=1 -run 'TestSaveFileCrashMatrix|TestOnlineRetrainCrashRecovery|TestOnlineCheckpointRestart|TestInterruptResumeBitwiseIdentical' ./internal/prionn/
 step_done
 
 # Serving gate: the coalescer's contract tests, explicitly and under
@@ -122,6 +130,16 @@ step_done
 step "quantized gate (accuracy / determinism / cache stamps)"
 go test -count=1 -run 'TestQuantizedSnapshotAccuracyGate|TestQuantizedSnapshotDeterministicAcrossClones' ./internal/prionn/
 go test -count=1 -run 'TestClusterSwapKernelInvalidatesCache' ./internal/cluster/
+step_done
+
+# Online-learning pipeline gate: the full retrain → shadow-eval →
+# canary → atomic swap loop under the race detector — a live cluster
+# with concurrent traffic, restart-from-every-failpoint checkpoint
+# resume, shadow rejection of a deliberately regressed candidate,
+# all-or-nothing swap atomicity, and canary rollback/promotion.
+step "pipeline gate (retrain/shadow/canary/swap, -race)"
+go test -race -count=1 -run 'TestPipelineEndToEnd|TestPilotRestartFromEveryFailpoint|TestPilotShadowRejectsRegression|TestEvaluateEdgeWindows' ./internal/pilot/
+go test -race -count=1 -run 'TestSwapAllOrNothing|TestCanaryPromotion|TestCanaryAutoRollback|TestCanaryDisagreementRollback' ./internal/cluster/
 step_done
 
 # Benchmark smoke: one iteration of each kernel, serving, quantized,
